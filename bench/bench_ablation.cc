@@ -1,0 +1,140 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   A. optimization selection: combination-only vs frequency-only vs both;
+//   B. fission width: how many ways to fiss on the 16-core machine;
+//   C. FFT-size sensitivity of frequency translation;
+//   D. the sync-weight tie-breaker in the selection cost model.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "linear/cost.h"
+#include "linear/frequency.h"
+#include "linear/matrix.h"
+#include "linear/optimize.h"
+#include "parallel/strategies.h"
+#include "parallel/transforms.h"
+#include "runtime/flatgraph.h"
+#include "sched/schedule.h"
+
+namespace {
+
+double cost_per_item(const sit::ir::NodeP& app) {
+  const auto c = sit::linear::node_cost(app);
+  // Closed programs: normalize by per-steady source production.
+  const auto g = sit::runtime::flatten(app);
+  const auto s = sit::sched::make_schedule(g);
+  double src_items = 0.0;
+  for (std::size_t i = 0; i < g.actors.size(); ++i) {
+    bool has_in = false;
+    for (int e : g.actors[i].in_edges) has_in = has_in || e >= 0;
+    if (!has_in) {
+      for (std::size_t p = 0; p < g.actors[i].out_rate.size(); ++p) {
+        src_items += static_cast<double>(s.reps[i] * g.actors[i].out_rate[p]);
+      }
+    }
+  }
+  return src_items > 0 ? (c.ops_per_ss + 0.05 * c.sync_per_ss) / src_items : 0.0;
+}
+
+double source_items(const sit::parallel::Placement& p) {
+  std::vector<bool> has_in(p.actors.size(), false);
+  std::vector<double> produced(p.actors.size(), 0.0);
+  for (const auto& e : p.edges) {
+    if (e.dst_actor >= 0 && e.src_actor >= 0) has_in[static_cast<std::size_t>(e.dst_actor)] = true;
+    if (e.src_actor >= 0) produced[static_cast<std::size_t>(e.src_actor)] += e.items;
+  }
+  double t = 0.0;
+  for (std::size_t i = 0; i < p.actors.size(); ++i) {
+    if (!has_in[i]) t += produced[i];
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using sit::linear::OptimizeOptions;
+
+  // ---- A: which optimization matters where --------------------------------
+  std::printf("Ablation A: optimization selection variants (speedup vs "
+              "direct, cost model)\n");
+  std::printf("%-14s %12s %12s %10s\n", "Benchmark", "CombineOnly", "FreqOnly",
+              "Both");
+  sit::bench::rule(54);
+  for (const auto& name : sit::bench::linear_suite_names()) {
+    const auto app = sit::apps::make_app(name);
+    const double direct = cost_per_item(app);
+    OptimizeOptions comb;
+    comb.enable_frequency = false;
+    OptimizeOptions freq;
+    freq.enable_combination = false;
+    const double c1 = cost_per_item(sit::linear::optimize(app, comb));
+    const double c2 = cost_per_item(sit::linear::optimize(app, freq));
+    const double c3 = cost_per_item(sit::linear::optimize(app, {}));
+    std::printf("%-14s %11.2fx %11.2fx %9.2fx\n", name.c_str(), direct / c1,
+                direct / c2, direct / c3);
+  }
+
+  // ---- B: fission width ------------------------------------------------------
+  std::printf("\nAblation B: fission width on the 16-core machine "
+              "(Task+Data speedup)\n");
+  std::printf("%-14s", "Benchmark");
+  const int widths[] = {2, 4, 8, 16, 32};
+  for (int w : widths) std::printf(" %7dw", w);
+  std::printf("\n");
+  sit::bench::rule(58);
+  sit::machine::MachineConfig cfg;
+  for (const char* name : {"DCT", "FilterBank", "DES"}) {
+    const auto app = sit::apps::make_app(name);
+    // Single-core baseline per item.
+    auto base_p = sit::parallel::build_placement(app);
+    sit::machine::MachineConfig one;
+    one.grid_w = one.grid_h = 1;
+    const auto base =
+        sit::machine::simulate(one, base_p.actors, base_p.edges,
+                               sit::machine::ExecMode::Pipelined);
+    const double base_per_item = base.cycles_per_steady / source_items(base_p);
+    std::printf("%-14s", name);
+    for (int w : widths) {
+      const auto g = sit::parallel::data_parallelize(sit::ir::clone(app), w);
+      auto p = sit::parallel::build_placement(g);
+      sit::parallel::place_lpt(p, cfg);
+      const auto r = sit::machine::simulate(cfg, p.actors, p.edges,
+                                            sit::machine::ExecMode::DataFlow);
+      const double per_item = r.cycles_per_steady / source_items(p);
+      std::printf(" %7.2fx", base_per_item / per_item);
+    }
+    std::printf("\n");
+  }
+  std::printf("(16-way matches the core count; wider fission only adds "
+              "synchronization.)\n");
+
+  // ---- C: FFT-size sensitivity -------------------------------------------------
+  std::printf("\nAblation C: frequency translation cost vs FFT size "
+              "(128-tap FIR, flops per output)\n");
+  sit::linear::LinearRep fir;
+  fir.pop = 1;
+  fir.peek = 128;
+  fir.push = 1;
+  fir.A = sit::linear::Matrix(1, 128);
+  for (int i = 0; i < 128; ++i) fir.A.at(0, static_cast<std::size_t>(i)) = 1.0;
+  fir.b = {0.0};
+  std::printf("  direct: %.0f\n", fir.cost_flops_per_firing());
+  for (std::size_t n = 256; n <= 8192; n <<= 1) {
+    std::printf("  fft %5zu: %.1f%s\n", n,
+                sit::linear::frequency_cost_per_firing(fir, n),
+                n == sit::linear::best_fft_size(fir) ? "   <- selected" : "");
+  }
+
+  // ---- D: sync-weight tie breaker ------------------------------------------------
+  std::printf("\nAblation D: sync weight in the selection cost model "
+              "(FMRadio actor count after optimization)\n");
+  for (double wgt : {0.0, 0.05, 0.5, 2.0}) {
+    OptimizeOptions o;
+    o.sync_weight = wgt;
+    const auto g = sit::linear::optimize(sit::apps::make_app("FMRadio"), o);
+    std::printf("  sync_weight %.2f -> %d leaf actors, cost/item %.1f\n", wgt,
+                sit::ir::count_filters(g), cost_per_item(g));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Microbenchmarks of the FFT substrate (google-benchmark): the transform
+// itself, the overlap-save convolution engine, and the naive DFT baseline
+// that motivates frequency translation.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "fft/fft.h"
+
+namespace {
+
+std::vector<sit::fft::cplx> random_signal(std::size_t n) {
+  std::mt19937 rng(12345);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<sit::fft::cplx> x(n);
+  for (auto& v : x) v = sit::fft::cplx(d(rng), d(rng));
+  return x;
+}
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_signal(n);
+  for (auto _ : state) {
+    auto y = x;
+    sit::fft::fft_inplace(y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_NaiveDft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_signal(n);
+  for (auto _ : state) {
+    auto y = sit::fft::dft_naive(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_NaiveDft)->Range(64, 512);
+
+void BM_OverlapSave(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  std::vector<double> h(taps, 0.01);
+  const std::size_t fft_size = sit::fft::next_pow2(taps * 4);
+  sit::fft::OverlapSave os(h, fft_size);
+  std::vector<double> block(os.block_size(), 1.0);
+  for (auto _ : state) {
+    auto y = os.process(block);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(os.block_size()));
+}
+BENCHMARK(BM_OverlapSave)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_DirectFir(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  std::vector<double> h(taps, 0.01);
+  std::vector<double> x(4096, 1.0);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + taps <= x.size(); ++i) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < taps; ++k) s += h[k] * x[i + k];
+      acc += s;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_DirectFir)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Reproduces the paper's headline linear-optimization result (abstract:
+// "performance improvements that average 400% over our benchmark
+// applications").  For each linear-suite application we report the modeled
+// execution cost per source item for:
+//   direct      -- the program as written,
+//   combined    -- linear combination only (no frequency translation),
+//   auto        -- full optimization selection (combination + frequency).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "linear/cost.h"
+#include "linear/optimize.h"
+#include "runtime/flatgraph.h"
+#include "sched/schedule.h"
+
+namespace {
+
+// Cycle-weighted cost per source item of a closed program.
+double cost_per_item(const sit::ir::NodeP& app) {
+  const auto g = sit::runtime::flatten(app);
+  const auto s = sit::sched::make_schedule(g);
+  double total = 0.0;
+  double src_items = 0.0;
+  for (std::size_t i = 0; i < g.actors.size(); ++i) {
+    const auto& a = g.actors[i];
+    if (a.is_filter()) {
+      total += static_cast<double>(s.reps[i]) *
+               sit::linear::leaf_ops_per_firing(*a.node);
+      bool has_in = false;
+      for (int e : a.in_edges) has_in = has_in || e >= 0;
+      if (!has_in) {
+        for (std::size_t p = 0; p < a.out_rate.size(); ++p) {
+          src_items += static_cast<double>(s.reps[i] * a.out_rate[p]);
+        }
+      }
+    } else {
+      // splitter/joiner synchronization cost
+      std::int64_t items = 0;
+      for (int r : a.in_rate) items += r;
+      for (int r : a.out_rate) items += r;
+      total += static_cast<double>(s.reps[i]) * 2.0 * static_cast<double>(items);
+    }
+  }
+  return src_items > 0 ? total / src_items : total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Headline: linear combination + frequency translation "
+              "(cost per source item, lower is better)\n");
+  std::printf("%-14s %10s %10s %10s %10s %10s\n", "Benchmark", "Direct",
+              "Combined", "Auto", "Comb spd", "Auto spd");
+  sit::bench::rule(72);
+
+  std::vector<double> speedups;
+  for (const auto& name : sit::bench::linear_suite_names()) {
+    const auto app = sit::apps::make_app(name);
+    const double direct = cost_per_item(app);
+
+    sit::linear::OptimizeOptions comb_only;
+    comb_only.enable_frequency = false;
+    const auto combined = sit::linear::optimize(app, comb_only);
+    const double comb_cost = cost_per_item(combined);
+
+    sit::linear::OptimizeStats stats;
+    const auto autosel = sit::linear::optimize(app, {}, &stats);
+    const double auto_cost = cost_per_item(autosel);
+
+    const double spd_c = comb_cost > 0 ? direct / comb_cost : 0.0;
+    const double spd_a = auto_cost > 0 ? direct / auto_cost : 0.0;
+    std::printf("%-14s %10.1f %10.1f %10.1f %9.2fx %9.2fx\n", name.c_str(),
+                direct, comb_cost, auto_cost, spd_c, spd_a);
+    speedups.push_back(spd_a);
+  }
+  sit::bench::rule(72);
+  const double gm = sit::bench::geomean(speedups);
+  std::printf("%-14s %43s average improvement: %.0f%% (geomean %.2fx)\n", "",
+              "", (gm - 1.0) * 100.0, gm);
+  std::printf("\nPaper: improvements average 400%% across the linear "
+              "benchmark suite; FIR-dominated apps gain most (frequency\n"
+              "translation), stateful apps (Radar) gain least.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Figure "main_comp": throughput speedup over single-core for
+// Task, Task+Data, and Task+Data+SWP on the 16-core machine.
+// Paper geomeans: 2.27x (task), 9.9x (task+data), ~14.4x with SWP on top
+// (an additional 1.45x).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using sit::parallel::Strategy;
+  sit::machine::MachineConfig cfg;  // 4x4 grid
+
+  std::printf("Figure: Task, Task+Data, Task+Data+SWP speedup vs single core "
+              "(16 cores)\n");
+  std::printf("%-14s %10s %12s %16s\n", "Benchmark", "Task", "Task+Data",
+              "Task+Data+SWP");
+  sit::bench::rule(60);
+
+  std::vector<double> t, td, tds;
+  for (const auto& name : sit::bench::parallel_suite_names()) {
+    const auto app = sit::apps::make_app(name);
+    const auto rt = sit::parallel::run_strategy(app, Strategy::TaskParallel, cfg);
+    const auto rd = sit::parallel::run_strategy(app, Strategy::TaskData, cfg);
+    const auto rc = sit::parallel::run_strategy(app, Strategy::TaskDataSwp, cfg);
+    std::printf("%-14s %9.2fx %11.2fx %15.2fx\n", name.c_str(),
+                rt.speedup_vs_single, rd.speedup_vs_single, rc.speedup_vs_single);
+    t.push_back(rt.speedup_vs_single);
+    td.push_back(rd.speedup_vs_single);
+    tds.push_back(rc.speedup_vs_single);
+  }
+  sit::bench::rule(60);
+  std::printf("%-14s %9.2fx %11.2fx %15.2fx\n", "geomean",
+              sit::bench::geomean(t), sit::bench::geomean(td),
+              sit::bench::geomean(tds));
+  std::printf("\nPaper: 2.27x / 9.9x / ~14.4x (+1.45x from SWP on top of data "
+              "parallelism).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Microbenchmarks of the compiler substrate itself (google-benchmark):
+// flattening + balance equations, linear extraction, whole-program
+// optimization selection, and sdep table construction on real suite apps.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.h"
+#include "linear/extract.h"
+#include "linear/optimize.h"
+#include "runtime/flatgraph.h"
+#include "sched/schedule.h"
+#include "sdep/sdep.h"
+
+namespace {
+
+void BM_FlattenAndSchedule(benchmark::State& state, const char* app) {
+  const auto g = sit::apps::make_app(app);
+  for (auto _ : state) {
+    auto flat = sit::runtime::flatten(g);
+    auto sched = sit::sched::make_schedule(flat);
+    benchmark::DoNotOptimize(sched.reps.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_FlattenAndSchedule, fmradio, "FMRadio");
+BENCHMARK_CAPTURE(BM_FlattenAndSchedule, bitonic, "BitonicSort");
+BENCHMARK_CAPTURE(BM_FlattenAndSchedule, fft, "FFT");
+
+void BM_LinearExtraction(benchmark::State& state) {
+  const auto g = sit::apps::make_app("FilterBank");
+  std::vector<const sit::ir::FilterSpec*> filters;
+  sit::ir::visit(g, [&](const sit::ir::NodeP& n) {
+    if (n->kind == sit::ir::Node::Kind::Filter) filters.push_back(&n->filter);
+  });
+  for (auto _ : state) {
+    int linear = 0;
+    for (const auto* f : filters) {
+      if (sit::linear::extract(*f).rep) ++linear;
+    }
+    benchmark::DoNotOptimize(linear);
+  }
+}
+BENCHMARK(BM_LinearExtraction);
+
+void BM_OptimizeSelection(benchmark::State& state, const char* app) {
+  const auto g = sit::apps::make_app(app);
+  sit::linear::OptimizeOptions opts;
+  opts.enable_frequency = false;  // keep the loop body deterministic in cost
+  for (auto _ : state) {
+    auto out = sit::linear::optimize(g, opts);
+    benchmark::DoNotOptimize(out.get());
+  }
+}
+BENCHMARK_CAPTURE(BM_OptimizeSelection, rateconvert, "RateConvert");
+BENCHMARK_CAPTURE(BM_OptimizeSelection, oversampler, "Oversampler");
+
+void BM_SdepTables(benchmark::State& state) {
+  const auto app = sit::apps::make_app("FMRadio");
+  const auto g = sit::runtime::flatten(app);
+  // Source and sink actor ids.
+  int src = -1, snk = -1;
+  for (std::size_t i = 0; i < g.actors.size(); ++i) {
+    bool has_in = false, has_out = false;
+    for (int e : g.actors[i].in_edges) has_in = has_in || e >= 0;
+    for (int e : g.actors[i].out_edges) has_out = has_out || e >= 0;
+    if (!has_in) src = static_cast<int>(i);
+    if (!has_out) snk = static_cast<int>(i);
+  }
+  for (auto _ : state) {
+    sit::sdep::SdepAnalysis an(g);
+    benchmark::DoNotOptimize(an.sdep(src, snk, 100));
+  }
+}
+BENCHMARK(BM_SdepTables);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+#pragma once
+// Shared helpers for the figure-reproduction benchmark binaries.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "machine/machine.h"
+#include "parallel/strategies.h"
+
+namespace sit::bench {
+
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += std::log(x);
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+inline std::vector<std::string> parallel_suite_names() {
+  std::vector<std::string> names;
+  for (const auto& a : sit::apps::all_apps()) {
+    if (a.parallel_suite) names.push_back(a.name);
+  }
+  return names;
+}
+
+inline std::vector<std::string> linear_suite_names() {
+  std::vector<std::string> names;
+  for (const auto& a : sit::apps::all_apps()) {
+    if (a.linear_suite) names.push_back(a.name);
+  }
+  return names;
+}
+
+inline void rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace sit::bench

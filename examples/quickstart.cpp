@@ -1,0 +1,56 @@
+// Quickstart: author a stream program with the builder DSL, validate it,
+// inspect its structure and schedule, and execute it.
+//
+// The program is a miniature software radio front end:
+//   source -> low-pass FIR -> 2-band equalizer (split-join) -> sum -> sink
+
+#include <cstdio>
+
+#include "apps/common.h"
+#include "ir/dsl.h"
+#include "ir/validate.h"
+#include "linear/extract.h"
+#include "sched/exec.h"
+
+using namespace sit;
+using namespace sit::ir;
+using namespace sit::ir::dsl;
+
+int main() {
+  // 1. Filters.  Work functions are ordinary C-like code over the channels.
+  NodeP lp = apps::lowpass_fir("lowpass", 16, 0.25);
+  NodeP band_lo = apps::bandpass_fir("band_lo", 16, 0.02, 0.12);
+  NodeP band_hi = apps::bandpass_fir("band_hi", 16, 0.12, 0.24);
+  NodeP sum = apps::adder("sum", 2);
+
+  // 2. Composition: pipelines and split-joins nest freely.
+  NodeP equalizer = make_splitjoin("equalizer", duplicate_split(),
+                                   roundrobin_join({1, 1}), {band_lo, band_hi});
+  NodeP radio = make_pipeline("MiniRadio", {lp, equalizer, sum});
+
+  // 3. Semantic checking (the StreamIt appendix rules).
+  check_or_throw(radio);
+  std::printf("--- stream graph ---\n%s\n", describe(radio).c_str());
+
+  // 4. Compile: flatten, solve balance equations, derive the init epoch.
+  sched::Executor ex(radio);
+  std::printf("--- schedule ---\n%s\n",
+              ex.schedule().describe(ex.graph()).c_str());
+
+  // 5. Execute on a synthetic input stream.
+  ex.set_input_generator([](std::int64_t i) {
+    return i % 8 < 4 ? 1.0 : -1.0;  // square wave
+  });
+  const auto out = ex.run_steady(8);
+  std::printf("--- first outputs ---\n");
+  for (std::size_t i = 0; i < out.size() && i < 8; ++i) {
+    std::printf("  y[%zu] = %+.5f\n", i, out[i]);
+  }
+
+  // 6. The compiler's view: the FIR is provably linear.
+  const auto rep = linear::extract(lp->filter);
+  std::printf("\n--- linear extraction of 'lowpass' ---\n%s",
+              rep.rep ? rep.rep->describe().c_str()
+                      : ("not linear: " + rep.reason + "\n").c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Teleport messaging on the paper's frequency-hopping radio: the detector
+// filter teleports `setf` upstream to the RF front end with latency [4, 6]
+// information wavefronts, and the constrained scheduler delivers it at the
+// exact firing the semantics prescribe.
+
+#include <cstdio>
+
+#include "apps/radio.h"
+#include "msg/messaging.h"
+
+int main() {
+  const auto radio = sit::apps::make_freq_hop_radio(16);
+
+  sit::msg::MessagingExecutor ex(radio.graph);
+  ex.register_receiver(radio.portal, radio.receiver);
+
+  std::printf("running the frequency-hopping radio (N=%d) for 400 steady "
+              "states...\n\n", radio.n);
+  ex.run_steady(400);
+
+  const auto& st = ex.stats();
+  std::printf("messages sent:              %lld\n",
+              static_cast<long long>(st.sent));
+  std::printf("messages delivered:         %lld\n",
+              static_cast<long long>(st.delivered));
+  std::printf("constraint-induced stalls:  %lld\n",
+              static_cast<long long>(st.constraint_stalls));
+  std::printf("\ndelivery timeline (receiver = %s, upstream of the sender, so "
+              "each message\nlands immediately AFTER the last firing that "
+              "affects the triggering data):\n", radio.receiver.c_str());
+  for (std::size_t i = 0; i < st.deliveries.size(); ++i) {
+    const auto& d = st.deliveries[i];
+    std::printf("  #%zu  %s.%s -> %s, %s firing %lld\n", i, d.portal.c_str(),
+                d.method.c_str(), d.receiver.c_str(),
+                d.before ? "before" : "after",
+                static_cast<long long>(d.receiver_firing));
+  }
+  std::printf("\nEvery retune lands on a precise information wavefront -- no "
+              "manual tagging of\nthe data stream was needed.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "apps/apps.h"
+
+#include <stdexcept>
+
+namespace sit::apps {
+
+const std::vector<AppInfo>& all_apps() {
+  static const std::vector<AppInfo> apps = {
+      // The 12 parallelization benchmarks (Figure "benchchar" order).
+      {"BitonicSort", "8-key bitonic sorting network", make_bitonic_sort, true, false},
+      {"ChannelVocoder", "pitch detector + 16 envelope bands", make_channel_vocoder, true, false},
+      {"DCT", "16x16 separable reference DCT", make_dct, true, true},
+      {"DES", "16 Feistel rounds", make_des, true, false},
+      {"FFT", "64-point reorder + butterflies", make_fft, true, true},
+      {"FilterBank", "8-band analysis/synthesis", make_filter_bank, true, true},
+      {"FMRadio", "demodulator + 10-band equalizer", make_fm_radio, true, true},
+      {"Serpent", "16 substitution/permutation rounds", make_serpent, true, false},
+      {"TDE", "FFT -> equalize -> IFFT pipeline", make_tde, true, false},
+      {"MPEG2Decoder", "motion vectors + block decode subset", make_mpeg2_subset, true, false},
+      {"Vocoder", "band analysis + stateful AGC", make_vocoder, true, false},
+      {"Radar", "12 stateful channels, 4 beams", make_radar, true, true},
+      // Linear-suite-only applications.
+      {"FIR", "single 128-tap low-pass", [] { return make_fir_app(128); }, false, true},
+      {"RateConvert", "2/3 rate conversion", make_rate_convert, false, true},
+      {"TargetDetect", "4 matched filters + detectors", make_target_detect, false, true},
+      {"Oversampler", "16x oversampling (4 stages)", make_oversampler, false, true},
+      {"DtoA", "oversampler + noise-shaped 1-bit quantizer", make_dtoa, false, true},
+  };
+  return apps;
+}
+
+ir::NodeP make_app(const std::string& name) {
+  for (const auto& a : all_apps()) {
+    if (a.name == name) return a.make();
+  }
+  throw std::out_of_range("unknown app '" + name + "'");
+}
+
+}  // namespace sit::apps

@@ -1,0 +1,55 @@
+#pragma once
+// The benchmark suite.
+//
+// The parallel suite re-authors the 12 StreamIt applications of the paper's
+// evaluation (Figure "benchchar"): BitonicSort, ChannelVocoder, DCT, DES,
+// FFT, FilterBank, FMRadio, Serpent, TDE, MPEG2Decoder (subset), Vocoder,
+// Radar.  The linear suite covers the applications the linear-optimization
+// results are reported on: FIR, RateConvert, TargetDetect, FMRadio,
+// FilterBank, Oversampler, DtoA (plus DCT).  Graph topology, rates, state,
+// and peeking behaviour follow the paper's descriptions; see DESIGN.md for
+// the substitutions.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace sit::apps {
+
+struct AppInfo {
+  std::string name;
+  std::string description;
+  std::function<ir::NodeP()> make;
+  bool parallel_suite{false};  // one of the 12 evaluation benchmarks
+  bool linear_suite{false};    // target of the linear optimizations
+};
+
+const std::vector<AppInfo>& all_apps();
+
+// Throws std::out_of_range for unknown names.
+ir::NodeP make_app(const std::string& name);
+
+// ---- individual constructors (also usable directly) -------------------------
+
+ir::NodeP make_fir_app(int taps = 128);
+ir::NodeP make_rate_convert();
+ir::NodeP make_target_detect();
+ir::NodeP make_oversampler();
+ir::NodeP make_dtoa();
+
+ir::NodeP make_bitonic_sort();      // N = 8 keys
+ir::NodeP make_channel_vocoder();   // pitch detector + 16 envelope bands
+ir::NodeP make_dct();               // 16x16 IEEE-style reference DCT
+ir::NodeP make_des();               // 16 Feistel rounds on (L, R) pairs
+ir::NodeP make_fft();               // N = 64, the paper's reorder+butterfly
+ir::NodeP make_filter_bank();       // 8-band analysis/synthesis
+ir::NodeP make_fm_radio();          // LPF + demod + 10-band equalizer
+ir::NodeP make_serpent();           // 16 rounds, sbox + linear mix
+ir::NodeP make_tde();               // FFT -> equalize -> IFFT pipeline
+ir::NodeP make_mpeg2_subset();      // motion-vector + block decoding
+ir::NodeP make_vocoder();           // band analysis + stateful AGC
+ir::NodeP make_radar();             // 12 stateful channels, 4 beams
+
+}  // namespace sit::apps

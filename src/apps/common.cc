@@ -1,0 +1,168 @@
+#include "apps/common.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sit::apps {
+
+using namespace sit::ir;
+using namespace sit::ir::dsl;
+
+NodeP rand_source(const std::string& name, int push) {
+  // Linear congruential generator in integer state; output scaled to
+  // [-0.5, 0.5].  Stateful by construction, as real input filters are.
+  std::vector<StmtP> body;
+  for (int i = 0; i < push; ++i) {
+    body.push_back(let("seed", (v("seed") * ci(1103515245) + ci(12345)) &
+                                   ci((1LL << 31) - 1)));
+    body.push_back(push_(to_float(v("seed")) / c(2147483648.0) - c(0.5)));
+  }
+  return filter(name).rates(0, 0, push).iscalar("seed", 42).work(seq(body)).node();
+}
+
+NodeP null_sink(const std::string& name, int pop) {
+  return filter(name).rates(pop, pop, 0).work(seq({discard(pop)})).node();
+}
+
+namespace {
+
+// y = sum_i h[i] * peek(i); pop 1 after.
+StmtP fir_work(int taps) {
+  return seq({let("sum", c(0.0)),
+              for_("i", 0, taps,
+                   let("sum", v("sum") + peek_(v("i")) * at("h", v("i")))),
+              push_(v("sum")), discard(1)});
+}
+
+}  // namespace
+
+NodeP lowpass_fir(const std::string& name, int taps, double cutoff) {
+  // h[i] = 2*fc*sinc(2*fc*(i - c)) * hamming(i); computed in init so the
+  // linear extractor sees constants.
+  const double pi = std::numbers::pi;
+  const E fc = c(cutoff);
+  const E center = c((taps - 1) / 2.0);
+  const E x = (to_float(v("i")) - center) * c(2.0 * pi) * fc;
+  StmtP init = for_(
+      "i", 0, taps,
+      seq({set_at("h", v("i"),
+                  sel(to_float(v("i")) == center, c(2.0) * fc,
+                      c(2.0) * fc * sin_(x) / x) *
+                      (c(0.54) - c(0.46) * cos_(c(2.0 * pi) * to_float(v("i")) /
+                                                c(double(taps - 1)))))}));
+  return filter(name)
+      .rates(taps, 1, 1)
+      .array("h", taps)
+      .init(init)
+      .work(fir_work(taps))
+      .node();
+}
+
+NodeP bandpass_fir(const std::string& name, int taps, double lo, double hi) {
+  const double pi = std::numbers::pi;
+  const E center = c((taps - 1) / 2.0);
+  const E t = to_float(v("i")) - center;
+  auto sinc_term = [&](double f) {
+    // Guard on x == 0 rather than i == center: a zero band edge (f == 0)
+    // makes x vanish at every tap, where the limit is 2f as well.
+    const E x = t * c(2.0 * pi * f);
+    const E x2 = t * c(2.0 * pi * f);
+    return sel(x == c(0.0), c(2.0 * f), c(2.0 * f) * sin_(x2) / x2);
+  };
+  StmtP init = for_("i", 0, taps,
+                    seq({set_at("h", v("i"), sinc_term(hi) - sinc_term(lo))}));
+  return filter(name)
+      .rates(taps, 1, 1)
+      .array("h", taps)
+      .init(init)
+      .work(fir_work(taps))
+      .node();
+}
+
+NodeP fir(const std::string& name, const std::vector<double>& taps) {
+  std::vector<Value> init;
+  init.reserve(taps.size());
+  for (double t : taps) init.emplace_back(t);
+  const int n = static_cast<int>(taps.size());
+  return filter(name)
+      .rates(n, 1, 1)
+      .array_init("h", init)
+      .work(fir_work(n))
+      .node();
+}
+
+NodeP gain(const std::string& name, double g) {
+  return filter(name).rates(1, 1, 1).work(seq({push_(pop_() * c(g))})).node();
+}
+
+NodeP adder(const std::string& name, int n) {
+  return filter(name)
+      .rates(n, n, 1)
+      .work(seq({let("s", c(0.0)), for_("i", 0, n, let("s", v("s") + peek_(v("i")))),
+                 push_(v("s")), discard(n)}))
+      .node();
+}
+
+NodeP downsample(const std::string& name, int m) {
+  return filter(name).rates(m, m, 1).work(seq({push_(peek_(0)), discard(m)})).node();
+}
+
+NodeP upsample(const std::string& name, int l) {
+  std::vector<StmtP> body{push_(pop_())};
+  for (int i = 1; i < l; ++i) body.push_back(push_(c(0.0)));
+  return filter(name).rates(1, 1, l).work(seq(body)).node();
+}
+
+NodeP permute(const std::string& name, const std::vector<int>& perm) {
+  const int n = static_cast<int>(perm.size());
+  std::vector<StmtP> body;
+  for (int j = 0; j < n; ++j) {
+    if (perm[static_cast<std::size_t>(j)] < 0 ||
+        perm[static_cast<std::size_t>(j)] >= n) {
+      throw std::invalid_argument("bad permutation");
+    }
+    body.push_back(push_(peek_(perm[static_cast<std::size_t>(j)])));
+  }
+  body.push_back(discard(n));
+  return filter(name).rates(n, n, n).work(seq(body)).node();
+}
+
+NodeP matmul(const std::string& name, int n, const std::vector<double>& row_major) {
+  if (static_cast<int>(row_major.size()) != n * n) {
+    throw std::invalid_argument("matmul needs n*n coefficients");
+  }
+  std::vector<Value> init;
+  init.reserve(row_major.size());
+  for (double x : row_major) init.emplace_back(x);
+  // push row r = sum_c M[r*n+c] * peek(c)
+  return filter(name)
+      .rates(n, n, n)
+      .array_init("m", init)
+      .work(seq({for_("r", 0, n,
+                      seq({let("s", c(0.0)),
+                           for_("cc", 0, n,
+                                let("s", v("s") + peek_(v("cc")) *
+                                                      at("m", v("r") * n + v("cc")))),
+                           push_(v("s"))})),
+                 discard(n)}))
+      .node();
+}
+
+NodeP magnitude(const std::string& name) {
+  return filter(name)
+      .rates(2, 2, 1)
+      .work(seq({let("re", pop_()), let("im", pop_()),
+                 push_(sqrt_(v("re") * v("re") + v("im") * v("im")))}))
+      .node();
+}
+
+NodeP quantizer(const std::string& name) {
+  return filter(name)
+      .rates(1, 1, 1)
+      .work(seq({let("x", pop_()),
+                 if_(v("x") >= c(0.0), push_(c(1.0)), push_(c(-1.0)))}))
+      .node();
+}
+
+}  // namespace sit::apps

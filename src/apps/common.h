@@ -1,0 +1,57 @@
+#pragma once
+// Shared building blocks for the benchmark suite: sources, sinks, FIR
+// filters, resamplers, adders, permutations.  All are expressed in the work
+// AST so every compiler analysis can see them (a FIR built here is exactly
+// what the linear extractor is supposed to detect).
+
+#include <string>
+#include <vector>
+
+#include "ir/dsl.h"
+#include "ir/graph.h"
+
+namespace sit::apps {
+
+// Deterministic pseudo-random source (stateful, like a FileReader feeding
+// the chip).  Pushes `push` items per firing in [-0.5, 0.5].
+ir::NodeP rand_source(const std::string& name, int push = 1);
+
+// Discards `pop` items per firing (the FileWriter stand-in).
+ir::NodeP null_sink(const std::string& name, int pop = 1);
+
+// N-tap FIR with coefficients computed in init as a windowed sinc low-pass
+// with the given normalized cutoff (0..0.5).  peek=N, pop=1, push=1; linear.
+ir::NodeP lowpass_fir(const std::string& name, int taps, double cutoff);
+
+// Band-pass FIR via modulated sinc.  Linear.
+ir::NodeP bandpass_fir(const std::string& name, int taps, double lo, double hi);
+
+// FIR with explicit coefficients.
+ir::NodeP fir(const std::string& name, const std::vector<double>& taps);
+
+// Multiply by a constant (linear).
+ir::NodeP gain(const std::string& name, double g);
+
+// Sum n consecutive items into one (linear; the equalizer combiner).
+ir::NodeP adder(const std::string& name, int n);
+
+// Keep 1 of every m items (decimator; linear).
+ir::NodeP downsample(const std::string& name, int m);
+
+// Insert l-1 zeros after every item (expander; linear).
+ir::NodeP upsample(const std::string& name, int l);
+
+// Fixed permutation: pushes window[perm[j]] for j = 0..N-1, pops N (linear).
+ir::NodeP permute(const std::string& name, const std::vector<int>& perm);
+
+// N x N dense constant matrix multiply: pop N, push N (linear, heavy).
+ir::NodeP matmul(const std::string& name, int n,
+                 const std::vector<double>& row_major);
+
+// Magnitude of interleaved (re, im) pairs: pop 2, push 1 (nonlinear).
+ir::NodeP magnitude(const std::string& name);
+
+// Hard one-bit quantizer (nonlinear, stateless).
+ir::NodeP quantizer(const std::string& name);
+
+}  // namespace sit::apps

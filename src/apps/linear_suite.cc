@@ -1,0 +1,105 @@
+// The linear-optimization benchmark programs (FIR, RateConvert,
+// TargetDetect, Oversampler, DtoA).  These are the applications the paper's
+// abstract reports the ~400% average improvement on (together with FMRadio,
+// FilterBank, DCT and Radar from the shared suite).
+
+#include <cmath>
+
+#include "apps/apps.h"
+#include "apps/common.h"
+
+namespace sit::apps {
+
+using namespace sit::ir;
+using namespace sit::ir::dsl;
+
+NodeP make_fir_app(int taps) {
+  return make_pipeline("FIR", {rand_source("src"), lowpass_fir("fir", taps, 0.2),
+                               null_sink("snk")});
+}
+
+NodeP make_rate_convert() {
+  // Classic 2/3 sample-rate conversion: expand, anti-alias, decimate.
+  return make_pipeline("RateConvert",
+                       {rand_source("src"), upsample("up2", 2),
+                        lowpass_fir("antialias", 64, 0.15), downsample("down3", 3),
+                        gain("norm", 2.0), null_sink("snk")});
+}
+
+NodeP make_target_detect() {
+  // Four matched filters listen for four pulse shapes; a detector thresholds
+  // each correlator output.  The matched filters are linear; the detectors
+  // are not.
+  auto detector = [](const std::string& name) {
+    return filter(name)
+        .rates(1, 1, 1)
+        .work(seq({let("x", pop_()),
+                   if_(v("x") > c(0.4), push_(v("x")), push_(c(0.0)))}))
+        .node();
+  };
+  std::vector<NodeP> branches;
+  for (int b = 0; b < 4; ++b) {
+    std::vector<double> h(32);
+    for (int i = 0; i < 32; ++i) {
+      h[static_cast<std::size_t>(i)] =
+          std::sin((b + 1) * 0.19 * i) * std::exp(-0.05 * i);
+    }
+    branches.push_back(make_pipeline(
+        "match" + std::to_string(b),
+        {fir("mf" + std::to_string(b), h), detector("det" + std::to_string(b))}));
+  }
+  return make_pipeline(
+      "TargetDetect",
+      {rand_source("src"),
+       make_splitjoin("correlators", duplicate_split(),
+                      roundrobin_join({1, 1, 1, 1}), branches),
+       null_sink("snk", 4)});
+}
+
+namespace {
+
+NodeP oversampler_core(const std::string& prefix) {
+  // 16x oversampling as four 2x stages, each expander + half-band low-pass.
+  std::vector<NodeP> stages;
+  for (int s = 0; s < 4; ++s) {
+    stages.push_back(upsample(prefix + "_up" + std::to_string(s), 2));
+    stages.push_back(
+        lowpass_fir(prefix + "_lp" + std::to_string(s), 32, 0.22));
+  }
+  return make_pipeline(prefix, stages);
+}
+
+}  // namespace
+
+NodeP make_oversampler() {
+  return make_pipeline("Oversampler", {rand_source("src"),
+                                       oversampler_core("ovs"),
+                                       null_sink("snk", 16)});
+}
+
+NodeP make_dtoa() {
+  // 1-bit D/A front end: oversample, noise-shape with an error feedback
+  // loop, quantize, reconstruct.  The feedback loop carries the quantization
+  // error (delay 1).
+  auto sub = filter("shape")
+                 .rates(2, 2, 2)
+                 .work(seq({let("x", pop_()), let("e", pop_()),
+                            let("y", v("x") - v("e") * c(0.5)), push_(v("y")),
+                            push_(v("y"))}))
+                 .build();
+  auto err = filter("err")
+                 .rates(1, 1, 1)
+                 .work(seq({let("y", pop_()),
+                            if_(v("y") >= c(0.0), push_(v("y") - c(1.0)),
+                                push_(v("y") + c(1.0)))}))
+                 .node();
+  auto loop = make_feedback("noiseshaper", roundrobin_join({1, 1}),
+                            make_filter(sub), roundrobin_split({1, 1}), err,
+                            /*delay=*/1, {0.0});
+  return make_pipeline("DtoA",
+                       {rand_source("src"), oversampler_core("ovs"), loop,
+                        quantizer("quant"), lowpass_fir("recon", 16, 0.25),
+                        null_sink("snk")});
+}
+
+}  // namespace sit::apps

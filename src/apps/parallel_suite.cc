@@ -1,0 +1,549 @@
+// The 12 benchmarks of the paper's parallelization evaluation.  Topology,
+// rates, statefulness and peeking mirror the descriptions in the paper (and
+// the published StreamIt versions); arithmetic detail is faithful where it
+// affects work distribution.
+
+#include <cmath>
+#include <numbers>
+
+#include "apps/apps.h"
+#include "apps/common.h"
+
+namespace sit::apps {
+
+using namespace sit::ir;
+using namespace sit::ir::dsl;
+
+// ---- BitonicSort (N = 8) -------------------------------------------------------
+
+namespace {
+
+NodeP compare_exchange(const std::string& name, bool ascending) {
+  // pop 2, push (min, max) or (max, min): stateless, nonlinear.
+  if (ascending) {
+    return filter(name)
+        .rates(2, 2, 2)
+        .work(seq({let("a", pop_()), let("b", pop_()),
+                   push_(min_(v("a"), v("b"))), push_(max_(v("a"), v("b")))}))
+        .node();
+  }
+  return filter(name)
+      .rates(2, 2, 2)
+      .work(seq({let("a", pop_()), let("b", pop_()), push_(max_(v("a"), v("b"))),
+                 push_(min_(v("a"), v("b")))}))
+      .node();
+}
+
+// One sorting-network column: pairs (i, i|j) for all i with (i & j) == 0,
+// ascending iff (i & k) == 0.  Realized as permute -> 4 parallel CE filters
+// -> inverse permute, which is exactly how the StreamIt version shuffles.
+NodeP bitonic_column(const std::string& name, int n, int k, int j) {
+  std::vector<int> fwd;  // window index read for output position p
+  std::vector<bool> dirs;
+  for (int i = 0; i < n; ++i) {
+    if ((i & j) == 0 && (i | j) < n) {
+      fwd.push_back(i);
+      fwd.push_back(i | j);
+      dirs.push_back((i & k) == 0);
+    }
+  }
+  // Inverse: where did element x go in the paired layout?
+  std::vector<int> inv(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) inv[static_cast<std::size_t>(fwd[static_cast<std::size_t>(p)])] = p;
+
+  std::vector<NodeP> ces;
+  std::vector<int> weights;
+  for (std::size_t t = 0; t < dirs.size(); ++t) {
+    ces.push_back(compare_exchange(name + "_ce" + std::to_string(t), dirs[t]));
+    weights.push_back(2);
+  }
+  return make_pipeline(
+      name, {permute(name + "_shuffle", fwd),
+             make_splitjoin(name + "_ces", roundrobin_split(weights),
+                            roundrobin_join(weights), ces),
+             permute(name + "_unshuffle", inv)});
+}
+
+}  // namespace
+
+NodeP make_bitonic_sort() {
+  const int n = 8;
+  std::vector<NodeP> stages{rand_source("src")};
+  int col = 0;
+  for (int k = 2; k <= n; k <<= 1) {
+    for (int j = k / 2; j >= 1; j >>= 1) {
+      stages.push_back(bitonic_column("col" + std::to_string(col++), n, k, j));
+    }
+  }
+  stages.push_back(null_sink("snk"));
+  return make_pipeline("BitonicSort", stages);
+}
+
+// ---- ChannelVocoder -------------------------------------------------------------
+
+NodeP make_channel_vocoder() {
+  // A pitch detector plus 16 envelope followers over band-pass filters; all
+  // branches peek heavily (the paper flags ChannelVocoder's many peeking
+  // filters and high comp/comm ratio).
+  auto rectifier = [](const std::string& nm) {
+    return filter(nm).rates(1, 1, 1).work(seq({push_(abs_(pop_()))})).node();
+  };
+  std::vector<NodeP> branches;
+  std::vector<int> jw;
+  branches.push_back(make_pipeline(
+      "pitch", {lowpass_fir("pitch_lp", 64, 0.05), rectifier("pitch_rect"),
+                lowpass_fir("pitch_env", 32, 0.02)}));
+  jw.push_back(1);
+  for (int b = 0; b < 16; ++b) {
+    const double lo = 0.02 + 0.028 * b;
+    branches.push_back(make_pipeline(
+        "band" + std::to_string(b),
+        {bandpass_fir("bp" + std::to_string(b), 64, lo, lo + 0.028),
+         rectifier("rect" + std::to_string(b)),
+         lowpass_fir("env" + std::to_string(b), 16, 0.05)}));
+    jw.push_back(1);
+  }
+  return make_pipeline("ChannelVocoder",
+                       {rand_source("src"),
+                        make_splitjoin("analysis", duplicate_split(),
+                                       roundrobin_join(jw), branches),
+                        null_sink("snk", 17)});
+}
+
+// ---- DCT (16x16) -----------------------------------------------------------------
+
+namespace {
+
+std::vector<double> dct_matrix(int n) {
+  std::vector<double> m(static_cast<std::size_t>(n * n));
+  const double pi = std::numbers::pi;
+  for (int r = 0; r < n; ++r) {
+    const double s = r == 0 ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+    for (int c = 0; c < n; ++c) {
+      m[static_cast<std::size_t>(r * n + c)] =
+          s * std::cos((2 * c + 1) * r * pi / (2.0 * n));
+    }
+  }
+  return m;
+}
+
+std::vector<int> transpose_perm(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n * n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      p[static_cast<std::size_t>(r * n + c)] = c * n + r;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+NodeP make_dct() {
+  // Separable 16x16 reference DCT: row transform, transpose, column
+  // transform.  Fully linear; the row/column transforms dominate the work
+  // (the paper notes DCT's bottleneck filter does >6x the work of others).
+  const int n = 16;
+  return make_pipeline(
+      "DCT", {rand_source("src"), matmul("rowDCT", n, dct_matrix(n)),
+              permute("transpose", transpose_perm(n)),
+              matmul("colDCT", n, dct_matrix(n)), gain("scale", 0.25),
+              null_sink("snk")});
+}
+
+// ---- DES --------------------------------------------------------------------------
+
+namespace {
+
+E mask32(E x) { return x & ci(0xFFFFFFFFLL); }
+
+NodeP des_round(const std::string& name, std::int64_t key) {
+  // Feistel round on (L, R) pairs: L' = R, R' = L ^ f(R, key).  The round
+  // function uses rotation, an S-box lookup (data-dependent array index:
+  // stateless but decidedly nonlinear), and key mixing.
+  std::vector<ir::Value> sbox;
+  for (int i = 0; i < 16; ++i) {
+    sbox.emplace_back(static_cast<std::int64_t>((7 * i + 3) % 16));
+  }
+  return filter(name)
+      .rates(2, 2, 2)
+      .array_init("sbox", sbox)
+      .work(seq({let("L", to_int(pop_())), let("R", to_int(pop_())),
+                 let("rot", mask32((v("R") << 1) | (v("R") >> 31))),
+                 let("mix", v("rot") ^ ci(key)),
+                 let("s", at("sbox", v("mix") & ci(15))),
+                 let("f", mask32(v("mix") + (to_int(v("s")) << 4))),
+                 push_(to_float(v("R"))), push_(to_float(v("L") ^ v("f")))}))
+      .node();
+}
+
+NodeP pair_swap(const std::string& name) {
+  return permute(name, {1, 0});
+}
+
+NodeP int_source(const std::string& name) {
+  // Pushes pseudo-random 32-bit words (two per firing: an L/R pair).
+  std::vector<StmtP> body;
+  for (int i = 0; i < 2; ++i) {
+    body.push_back(let("seed", (v("seed") * ci(1103515245) + ci(12345)) &
+                                   ci((1LL << 31) - 1)));
+    body.push_back(push_(to_float(v("seed"))));
+  }
+  return filter(name).rates(0, 0, 2).iscalar("seed", 7).work(seq(body)).node();
+}
+
+}  // namespace
+
+NodeP make_des() {
+  std::vector<NodeP> stages{int_source("src"), pair_swap("IP")};
+  std::int64_t key = 0x12345;
+  for (int r = 0; r < 16; ++r) {
+    stages.push_back(des_round("round" + std::to_string(r), key));
+    key = (key * 31 + 17) & 0xFFFFFFFF;
+  }
+  stages.push_back(pair_swap("FP"));
+  stages.push_back(null_sink("snk", 2));
+  return make_pipeline("DES", stages);
+}
+
+// ---- FFT (N = 64, the paper's reorder + butterfly construction) --------------------
+
+namespace {
+
+NodeP weight_stage(const std::string& name, int ni, int w) {
+  // Multiply a block of ni items by per-position twiddle weights (linear).
+  std::vector<ir::Value> ws;
+  for (int i = 0; i < ni; ++i) {
+    ws.emplace_back(std::cos(2.0 * std::numbers::pi * i / w));
+  }
+  std::vector<StmtP> body;
+  for (int i = 0; i < ni; ++i) {
+    body.push_back(push_(peek_(i) * at("w", i)));
+  }
+  body.push_back(discard(ni));
+  return filter(name).rates(ni, ni, ni).array_init("w", ws).work(seq(body)).node();
+}
+
+NodeP butterfly(const std::string& name, int ni, int w) {
+  // First splitjoin: weights on one arm, identity on the other.
+  auto sj1 = make_splitjoin(
+      name + "_w", roundrobin_split({ni, ni}), roundrobin_join({1, 1}),
+      {weight_stage(name + "_tw", ni, w), dsl::identity(name + "_id")});
+  // Second: duplicate into (a - b) and (a + b) arms.
+  auto sub = filter(name + "_sub").rates(2, 2, 1).work(seq({let("a", pop_()), push_(v("a") - pop_())})).node();
+  auto add = filter(name + "_add").rates(2, 2, 1).work(seq({let("a", pop_()), push_(v("a") + pop_())})).node();
+  auto sj2 = make_splitjoin(name + "_bf", duplicate_split(),
+                            roundrobin_join({ni, ni}), {sub, add});
+  return make_pipeline(name, {sj1, sj2});
+}
+
+NodeP fft_reorder(int n) {
+  // The paper's two-level reordering splitjoin.
+  std::vector<NodeP> inner;
+  for (int i = 0; i < 2; ++i) {
+    inner.push_back(make_splitjoin(
+        "reorder" + std::to_string(i), roundrobin_split({1, 1}),
+        roundrobin_join({n / 4, n / 4}),
+        {dsl::identity("rid" + std::to_string(2 * i)),
+         dsl::identity("rid" + std::to_string(2 * i + 1))}));
+  }
+  return make_splitjoin("bitrev", roundrobin_split({n / 2, n / 2}),
+                        roundrobin_join({1, 1}), inner);
+}
+
+}  // namespace
+
+NodeP make_fft() {
+  const int n = 64;
+  std::vector<NodeP> stages{rand_source("src"), fft_reorder(n)};
+  for (int i = 2; i < n; i *= 2) {
+    stages.push_back(butterfly("bfly" + std::to_string(i), i, n));
+  }
+  stages.push_back(null_sink("snk"));
+  return make_pipeline("FFT", stages);
+}
+
+// ---- FilterBank ---------------------------------------------------------------------
+
+NodeP make_filter_bank() {
+  // Eight-band analysis/synthesis: band-pass, decimate, interpolate,
+  // reconstruct, then sum the bands.  Entirely linear; heavy peeking.
+  const int bands = 8;
+  std::vector<NodeP> branches;
+  std::vector<int> jw;
+  for (int b = 0; b < bands; ++b) {
+    const double lo = 0.5 * b / bands;
+    branches.push_back(make_pipeline(
+        "band" + std::to_string(b),
+        {bandpass_fir("analysis" + std::to_string(b), 64, lo, lo + 0.5 / bands),
+         downsample("dec" + std::to_string(b), bands),
+         upsample("interp" + std::to_string(b), bands),
+         lowpass_fir("synthesis" + std::to_string(b), 32, 0.5 / bands)}));
+    jw.push_back(1);
+  }
+  return make_pipeline(
+      "FilterBank",
+      {rand_source("src"),
+       make_splitjoin("bank", duplicate_split(), roundrobin_join(jw), branches),
+       adder("combine", bands), null_sink("snk")});
+}
+
+// ---- FMRadio ---------------------------------------------------------------------
+
+NodeP make_fm_radio() {
+  // Low-pass front end, FM demodulator (nonlinear), 10-band equalizer of
+  // band-pass pairs, and a combiner -- the paper's running example.
+  auto demod = filter("demod")
+                   .rates(2, 1, 1)
+                   .work(seq({push_(peek_(0) * peek_(1) * c(2.5)), discard(1)}))
+                   .node();
+  const int bands = 10;
+  std::vector<NodeP> eq;
+  std::vector<int> jw;
+  for (int b = 0; b < bands; ++b) {
+    const double lo = 0.01 + 0.045 * b;
+    eq.push_back(make_pipeline(
+        "eqband" + std::to_string(b),
+        {bandpass_fir("eqbp" + std::to_string(b), 64, lo, lo + 0.045),
+         gain("eqgain" + std::to_string(b), 1.0 + 0.1 * b)}));
+    jw.push_back(1);
+  }
+  return make_pipeline(
+      "FMRadio",
+      {rand_source("src"), lowpass_fir("rf_lp", 64, 0.3), demod,
+       make_splitjoin("equalizer", duplicate_split(), roundrobin_join(jw), eq),
+       adder("eqsum", bands), null_sink("snk")});
+}
+
+// ---- Serpent ---------------------------------------------------------------------
+
+namespace {
+
+NodeP serpent_round(const std::string& name, std::int64_t key) {
+  // Operates on 4-word blocks: key mix, S-box substitution (nonlinear),
+  // linear mixing by rotations and xors.
+  std::vector<ir::Value> sbox;
+  for (int i = 0; i < 16; ++i) {
+    sbox.emplace_back(static_cast<std::int64_t>((11 * i + 5) % 16));
+  }
+  std::vector<StmtP> body;
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(let("x" + std::to_string(i),
+                       to_int(pop_()) ^ ci((key >> (i * 8)) & 0xFF)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const std::string x = "x" + std::to_string(i);
+    body.push_back(let(x, (to_int(at("sbox", v(x) & ci(15))) << 4) |
+                              ((v(x) >> 4) & ci(0x0FFFFFFF))));
+  }
+  // Linear mix.
+  body.push_back(let("x0", mask32(v("x0") ^ (v("x1") << 3) ^ v("x2"))));
+  body.push_back(let("x2", mask32(v("x2") ^ (v("x3") << 7) ^ v("x1"))));
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(push_(to_float(v("x" + std::to_string(i)))));
+  }
+  return filter(name).rates(4, 4, 4).array_init("sbox", sbox).work(seq(body)).node();
+}
+
+NodeP serpent_source(const std::string& name) {
+  std::vector<StmtP> body;
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(let("seed", (v("seed") * ci(1103515245) + ci(12345)) &
+                                   ci((1LL << 31) - 1)));
+    body.push_back(push_(to_float(v("seed"))));
+  }
+  return filter(name).rates(0, 0, 4).iscalar("seed", 3).work(seq(body)).node();
+}
+
+}  // namespace
+
+NodeP make_serpent() {
+  std::vector<NodeP> stages{serpent_source("src"), permute("IP", {2, 0, 3, 1})};
+  std::int64_t key = 0x9E3779B9;
+  for (int r = 0; r < 16; ++r) {
+    stages.push_back(serpent_round("round" + std::to_string(r), key));
+    stages.push_back(permute("mix" + std::to_string(r), {1, 2, 3, 0}));
+    key = (key * 1103515245 + 12345) & 0x7FFFFFFF;
+  }
+  stages.push_back(null_sink("snk", 4));
+  return make_pipeline("Serpent", stages);
+}
+
+// ---- TDE (time-delay equalization) ---------------------------------------------------
+
+NodeP make_tde() {
+  // Transform, per-bin equalization, inverse transform: a long, almost
+  // entirely linear pipeline with little task parallelism (the shape the
+  // paper says favors the space-multiplexed baseline).
+  const int n = 32;
+  std::vector<NodeP> stages{rand_source("src"), fft_reorder(n)};
+  for (int i = 2; i < n; i *= 2) {
+    stages.push_back(butterfly("fwd" + std::to_string(i), i, n));
+  }
+  // Per-bin equalizer weights (linear pointwise scale).
+  std::vector<ir::Value> eq;
+  for (int i = 0; i < n; ++i) eq.emplace_back(1.0 / (1.0 + 0.05 * i));
+  std::vector<StmtP> eqbody;
+  for (int i = 0; i < n; ++i) eqbody.push_back(push_(peek_(i) * at("w", i)));
+  eqbody.push_back(discard(n));
+  stages.push_back(filter("equalize").rates(n, n, n).array_init("w", eq).work(seq(eqbody)).node());
+  for (int i = 2; i < n; i *= 2) {
+    stages.push_back(butterfly("inv" + std::to_string(i), i, n));
+  }
+  stages.push_back(null_sink("snk"));
+  return make_pipeline("TDE", stages);
+}
+
+// ---- MPEG2Decoder (subset) -------------------------------------------------------------
+
+NodeP make_mpeg2_subset() {
+  // Motion-vector decoding (small, stateful prediction) alongside block
+  // decoding (dequantize + 8x8 IDCT + saturate); roughly one third of a full
+  // decoder, as in the paper.
+  const int n = 8;
+  auto mv_decode = filter("mv_pred")
+                       .rates(2, 2, 2)
+                       .scalar("predx", ir::Value(0.0))
+                       .scalar("predy", ir::Value(0.0))
+                       .work(seq({let("predx", v("predx") * c(0.5) + pop_()),
+                                  let("predy", v("predy") * c(0.5) + pop_()),
+                                  push_(v("predx")), push_(v("predy"))}))
+                       .node();
+  auto saturate = filter("saturate")
+                      .rates(1, 1, 1)
+                      .work(seq({push_(min_(max_(pop_(), c(-255.0)), c(255.0)))}))
+                      .node();
+  auto block_branch = make_pipeline(
+      "block_decode",
+      {gain("dequant", 0.7), matmul("idct_row", n, dct_matrix(n)),
+       permute("idct_t", transpose_perm(n)), matmul("idct_col", n, dct_matrix(n)),
+       saturate});
+  auto recombine = filter("recon")
+                       .rates(33, 33, 32)
+                       .work(seq({let("mv", peek_(0)),
+                                  for_("i", 1, 33, push_(peek_(v("i")) + v("mv") * c(0.01))),
+                                  discard(33)}))
+                       .node();
+  return make_pipeline(
+      "MPEG2Decoder",
+      {rand_source("src"),
+       make_splitjoin("demux", roundrobin_split({2, 64}),
+                      roundrobin_join({2, 64}), {mv_decode, block_branch}),
+       recombine, null_sink("snk", 32)});
+}
+
+// ---- Vocoder ------------------------------------------------------------------------
+
+NodeP make_vocoder() {
+  // Phase-vocoder-style: 8 linear analysis bands, rectification, then a
+  // stateful AGC/smoother chain (the ~17% stateful work the paper reports).
+  const int bands = 8;
+  std::vector<NodeP> branches;
+  std::vector<int> jw;
+  for (int b = 0; b < bands; ++b) {
+    const double lo = 0.5 * b / bands;
+    branches.push_back(
+        bandpass_fir("vband" + std::to_string(b), 32, lo, lo + 0.5 / bands));
+    jw.push_back(1);
+  }
+  auto rectify = filter("rectify").rates(1, 1, 1).work(seq({push_(abs_(pop_()))})).node();
+  auto agc = filter("agc")
+                 .rates(1, 1, 1)
+                 .scalar("env", ir::Value(0.1))
+                 .work(seq({let("x", pop_()),
+                            let("env", v("env") * c(0.95) + v("x") * c(0.05)),
+                            push_(v("x") / (v("env") + c(0.01)))}))
+                 .node();
+  auto smooth = filter("smooth")
+                    .rates(1, 1, 1)
+                    .scalar("s", ir::Value(0.0))
+                    .work(seq({let("s", v("s") * c(0.7) + pop_() * c(0.3)),
+                               push_(v("s"))}))
+                    .node();
+  return make_pipeline(
+      "Vocoder",
+      {rand_source("src"),
+       make_splitjoin("vbank", duplicate_split(), roundrobin_join(jw), branches),
+       adder("vsum", bands), rectify, agc, smooth,
+       lowpass_fir("vout", 32, 0.4), null_sink("snk")});
+}
+
+// ---- Radar (beamformer) ----------------------------------------------------------------
+
+namespace {
+
+NodeP stateful_decimating_fir(const std::string& name, int taps, int dec) {
+  // The PCA radar app's FIRs keep an explicit delay line, which makes them
+  // stateful -- precisely why the paper says data parallelism is paralyzed
+  // on Radar.  pop `dec`, push 1.
+  std::vector<StmtP> shift{
+      // Slide the delay line by `dec` and insert the new samples.
+      for_("i", 0, taps - dec,
+           seq({set_at("dl", v("i"), at("dl", v("i") + dec))})),
+      for_("i", 0, dec,
+           seq({set_at("dl", taps - dec + v("i"), peek_(v("i")))})),
+      let("s", c(0.0)),
+      for_("i", 0, taps,
+           let("s", v("s") + at("dl", v("i")) * at("h", v("i")))),
+      push_(v("s")),
+      discard(dec)};
+  const double pi = std::numbers::pi;
+  StmtP init = for_("i", 0, taps,
+                    seq({set_at("h", v("i"),
+                                sin_(to_float(v("i")) * c(0.3)) /
+                                    (to_float(v("i")) + c(1.0)) * c(2.0 / pi))}));
+  return filter(name)
+      .rates(dec, dec, 1)
+      .array("dl", taps)
+      .array("h", taps)
+      .init(init)
+      .work(seq(shift))
+      .node();
+}
+
+}  // namespace
+
+NodeP make_radar() {
+  const int channels = 12;
+  const int beams = 4;
+  std::vector<NodeP> chans;
+  std::vector<int> sw, jw;
+  for (int c0 = 0; c0 < channels; ++c0) {
+    chans.push_back(make_pipeline(
+        "chan" + std::to_string(c0),
+        {stateful_decimating_fir("cfir" + std::to_string(c0), 32, 2),
+         stateful_decimating_fir("cfir2_" + std::to_string(c0), 16, 1)}));
+    sw.push_back(2);
+    jw.push_back(1);
+  }
+  auto front = make_splitjoin("channels", roundrobin_split(sw),
+                              roundrobin_join(jw), chans);
+  // Beamforming: each beam takes a weighted sum of the 12 channel samples.
+  std::vector<NodeP> beamers;
+  std::vector<int> bw;
+  for (int b = 0; b < beams; ++b) {
+    std::vector<double> w(channels);
+    for (int c0 = 0; c0 < channels; ++c0) {
+      w[static_cast<std::size_t>(c0)] = std::cos(0.3 * (b + 1) * c0);
+    }
+    std::vector<ir::Value> wi;
+    for (double x : w) wi.emplace_back(x);
+    std::vector<StmtP> body{let("s", c(0.0))};
+    body.push_back(for_("i", 0, channels,
+                        let("s", v("s") + peek_(v("i")) * at("w", v("i")))));
+    body.push_back(push_(v("s") * v("s")));  // power detect (nonlinear)
+    body.push_back(discard(channels));
+    beamers.push_back(filter("beam" + std::to_string(b))
+                          .rates(channels, channels, 1)
+                          .array_init("w", wi)
+                          .work(seq(body))
+                          .node());
+    bw.push_back(1);
+  }
+  auto beamform = make_splitjoin("beams", duplicate_split(), roundrobin_join(bw),
+                                 beamers);
+  return make_pipeline("Radar", {rand_source("src"), front, beamform,
+                                 null_sink("snk", beams)});
+}
+
+}  // namespace sit::apps

@@ -1,0 +1,81 @@
+#include "apps/radio.h"
+
+#include <numbers>
+
+#include "apps/common.h"
+
+namespace sit::apps {
+
+using namespace sit::ir;
+using namespace sit::ir::dsl;
+
+FreqHopRadio make_freq_hop_radio(int n) {
+  const double pi = std::numbers::pi;
+
+  // A/D front end: a tone whose frequency steps occasionally, so hops occur.
+  auto atod = filter("atod")
+                  .rates(0, 0, 1)
+                  .scalar("phase", ir::Value(0.0))
+                  .iscalar("t", 0)
+                  .scalar("f0", ir::Value(0.15))
+                  .work(seq({let("t", v("t") + 1),
+                             if_(v("t") % ci(64 * n) == ci(0),
+                                 let("f0", sel(v("f0") > c(0.3), c(0.15),
+                                               v("f0") + c(0.1)))),
+                             let("phase", v("phase") + v("f0") * c(2.0 * pi)),
+                             push_(sin_(v("phase")))}))
+                  .node();
+
+  // RFtoIF: multiply by the local-oscillator table; `setf` retunes it.
+  auto rf2if =
+      filter("rf2if")
+          .rates(1, 1, 1)
+          .array("w", n)
+          .iscalar("count", 0)
+          .scalar("freq", ir::Value(1.0))
+          .init(seq({for_("i", 0, n,
+                          set_at("w", v("i"),
+                                 sin_(to_float(v("i")) * c(pi) / double(n))))}))
+          .work(seq({push_(pop_() * at("w", v("count"))),
+                     let("count", (v("count") + 1) % n)}))
+          .handler("setf", {"f"},
+                   seq({let("freq", v("f")), let("count", 0),
+                        for_("i", 0, n,
+                             set_at("w", v("i"),
+                                    sin_(to_float(v("i")) * c(pi) * v("f") /
+                                         double(n))))}))
+          .node();
+
+  // Energy detector per block of n bins ("FFT" stand-in: the real FFT app is
+  // plugged in by the bench; a magnitude window keeps this example small).
+  auto spectrum = filter("spectrum")
+                      .rates(n, n, n)
+                      .work(seq({for_("i", 0, n,
+                                      push_(peek_(v("i")) * peek_(v("i")))),
+                                 discard(n)}))
+                      .node();
+
+  // CheckFreqHop: pass data through; when the hop bin lights up, teleport a
+  // retune upstream with latency in [4, 6] wavefronts.
+  auto check =
+      filter("checkhop")
+          .rates(n, n, n)
+          .scalar("armed", ir::Value(1.0))
+          .work(seq({let("e", c(0.0)),
+                     for_("i", n / 2, n, let("e", v("e") + peek_(v("i")))),
+                     if_(v("e") > c(double(n) * 0.10) && v("armed") > c(0.5),
+                         seq({ir::send("freqHop", "setf",
+                                       {(c(1.0) + v("e") / double(n)).e}, 4, 6),
+                              let("armed", c(0.0))}),
+                         let("armed", min_(v("armed") + c(0.01), c(1.0)))),
+                     for_("i", 0, n, push_(peek_(v("i")))), discard(n)}))
+          .node();
+
+  FreqHopRadio radio;
+  radio.n = n;
+  radio.graph = make_pipeline(
+      "FreqHopRadio", {atod, rf2if, spectrum, check, null_sink("snk", n)});
+  return radio;
+}
+
+}  // namespace sit::apps

@@ -1,0 +1,25 @@
+#pragma once
+// The paper's running example: a frequency-hopping trunked radio receiver.
+//
+//   AtoD -> RFtoIF -> FFT(N) -> CheckFreqHop -> Sink
+//
+// RFtoIF multiplies the RF stream by a local-oscillator table and exposes a
+// `setf` message handler; CheckFreqHop watches FFT bins and, when energy
+// appears in a hop bin, teleports setf upstream with latency [4, 6] so the
+// retuning lands on the precise information wavefront.  Wire it up with
+// msg::MessagingExecutor::register_receiver("freqHop", "rf2if").
+
+#include "ir/graph.h"
+
+namespace sit::apps {
+
+struct FreqHopRadio {
+  ir::NodeP graph;
+  int n{0};                       // FFT size
+  std::string portal{"freqHop"};  // portal name used by CheckFreqHop
+  std::string receiver{"rf2if"};  // filter with the setf handler
+};
+
+FreqHopRadio make_freq_hop_radio(int n = 16);
+
+}  // namespace sit::apps

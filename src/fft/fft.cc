@@ -1,0 +1,199 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sit::fft {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Twiddle/bit-reversal caches keyed by size.  The frequency filters call the
+// FFT with a handful of distinct sizes millions of times; caching the tables
+// is the difference between an FFT and a trig benchmark.
+struct Tables {
+  std::vector<std::size_t> rev;
+  std::vector<cplx> w;  // forward twiddles, per stage packed
+};
+
+const Tables& tables_for(std::size_t n) {
+  static std::unordered_map<std::size_t, Tables> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+
+  Tables t;
+  t.rev.resize(n);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2n; ++b) {
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (log2n - 1 - b);
+    }
+    t.rev[i] = r;
+  }
+  t.w.resize(n / 2);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(i) /
+                       static_cast<double>(n);
+    t.w[i] = cplx(std::cos(ang), std::sin(ang));
+  }
+  return cache.emplace(n, std::move(t)).first->second;
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::vector<cplx>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n <= 1) return;
+  if (!is_pow2(n)) throw std::invalid_argument("FFT size must be a power of two");
+
+  const Tables& t = tables_for(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < t.rev[i]) std::swap(a[i], a[t.rev[i]]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;
+    const std::size_t half = len / 2;
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        cplx w = t.w[j * stride];
+        if (inverse) w = std::conj(w);
+        const cplx u = a[base + j];
+        const cplx v = a[base + j + half] * w;
+        a[base + j] = u + v;
+        a[base + j + half] = u - v;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv;
+  }
+}
+
+std::vector<cplx> fft(const std::vector<cplx>& a) {
+  auto b = a;
+  fft_inplace(b, false);
+  return b;
+}
+
+std::vector<cplx> ifft(const std::vector<cplx>& a) {
+  auto b = a;
+  fft_inplace(b, true);
+  return b;
+}
+
+std::vector<cplx> dft_naive(const std::vector<cplx>& a) {
+  const std::size_t n = a.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      acc += a[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+double fft_cost_flops(std::size_t n) {
+  if (n <= 1) return 0.0;
+  double log2n = 0.0;
+  std::size_t p = n;
+  while (p > 1) {
+    p >>= 1;
+    log2n += 1.0;
+  }
+  return 5.0 * static_cast<double>(n) * log2n;
+}
+
+std::vector<double> convolve(const std::vector<double>& x,
+                             const std::vector<double>& h) {
+  if (x.empty() || h.empty()) return {};
+  const std::size_t out_len = x.size() + h.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  std::vector<cplx> fx(n), fh(n);
+  for (std::size_t i = 0; i < x.size(); ++i) fx[i] = cplx(x[i], 0.0);
+  for (std::size_t i = 0; i < h.size(); ++i) fh[i] = cplx(h[i], 0.0);
+  fft_inplace(fx, false);
+  fft_inplace(fh, false);
+  for (std::size_t i = 0; i < n; ++i) fx[i] *= fh[i];
+  fft_inplace(fx, true);
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = fx[i].real();
+  return out;
+}
+
+OverlapSave::OverlapSave(std::vector<double> taps, std::size_t fft_size)
+    : n_(fft_size), k_(taps.size()) {
+  if (!is_pow2(n_)) throw std::invalid_argument("overlap-save FFT size must be pow2");
+  if (k_ == 0 || k_ > n_) throw std::invalid_argument("overlap-save needs 0 < taps <= fft size");
+  block_ = n_ - k_ + 1;
+  std::vector<cplx> h(n_);
+  for (std::size_t i = 0; i < k_; ++i) h[i] = cplx(taps[i], 0.0);
+  fft_inplace(h, false);
+  h_freq_ = std::move(h);
+  history_.assign(k_ - 1, 0.0);
+}
+
+void OverlapSave::prime_history(const std::vector<double>& past) {
+  if (past.size() != k_ - 1) {
+    throw std::invalid_argument("history must have taps-1 samples");
+  }
+  history_ = past;
+}
+
+std::vector<double> OverlapSave::process(const std::vector<double>& in) {
+  if (in.size() != block_) {
+    throw std::invalid_argument("overlap-save block size mismatch");
+  }
+  std::vector<cplx> buf(n_);
+  for (std::size_t i = 0; i < k_ - 1; ++i) buf[i] = cplx(history_[i], 0.0);
+  for (std::size_t i = 0; i < block_; ++i) buf[k_ - 1 + i] = cplx(in[i], 0.0);
+
+  fft_inplace(buf, false);
+  for (std::size_t i = 0; i < n_; ++i) buf[i] *= h_freq_[i];
+  fft_inplace(buf, true);
+
+  std::vector<double> out(block_);
+  // Outputs k-1 .. n-1 of the circular convolution are the valid linear ones;
+  // output j here is y aligned to input sample j of this block.
+  for (std::size_t i = 0; i < block_; ++i) out[i] = buf[k_ - 1 + i].real();
+
+  // Slide history: keep the most recent k-1 samples.
+  if (k_ > 1) {
+    std::vector<double> next(k_ - 1);
+    const std::size_t keep = k_ - 1;
+    for (std::size_t i = 0; i < keep; ++i) {
+      const std::size_t pos_from_end = keep - i;  // 1..keep
+      if (pos_from_end <= block_) {
+        next[i] = in[block_ - pos_from_end];
+      } else {
+        next[i] = history_[history_.size() - (pos_from_end - block_)];
+      }
+    }
+    history_ = std::move(next);
+  }
+  return out;
+}
+
+double OverlapSave::cost_per_block() const {
+  // Forward FFT + inverse FFT + N complex multiplies (6 real ops each).
+  return 2.0 * fft_cost_flops(n_) + 6.0 * static_cast<double>(n_);
+}
+
+}  // namespace sit::fft

@@ -1,0 +1,72 @@
+#pragma once
+// FFT substrate.
+//
+// The paper's frequency translation needs a fast transform; the original
+// implementation linked FFTW.  We provide our own: an iterative radix-2
+// decimation-in-time FFT with cached twiddle factors and bit-reversal
+// tables, plus the overlap-save block convolution that the frequency-domain
+// filter executes.  A naive O(N^2) DFT is included for verification.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace sit::fft {
+
+using cplx = std::complex<double>;
+
+// In-place FFT / inverse FFT.  n must be a power of two.
+void fft_inplace(std::vector<cplx>& a, bool inverse);
+
+// Convenience copies.
+std::vector<cplx> fft(const std::vector<cplx>& a);
+std::vector<cplx> ifft(const std::vector<cplx>& a);
+
+// Naive DFT for verification (O(n^2), any n).
+std::vector<cplx> dft_naive(const std::vector<cplx>& a);
+
+// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+// Full linear convolution of two real signals (sizes add - 1), via FFT.
+std::vector<double> convolve(const std::vector<double>& x,
+                             const std::vector<double>& h);
+
+// Number of real-arithmetic operations one size-n complex FFT costs in our
+// machine model (used by the linear cost model to decide when frequency
+// translation wins).  ~5 n log2 n for radix-2.
+double fft_cost_flops(std::size_t n);
+
+// Streaming overlap-save convolution: y[i] = sum_k h[k] * x[i - k], fed
+// block-by-block.  `history` persists between blocks so the first taps see
+// zeros (or preloaded history for steady-state alignment).
+class OverlapSave {
+ public:
+  // fft_size must be a power of two > taps; block() consumes and produces
+  // exactly fft_size - taps + 1 samples per call.
+  OverlapSave(std::vector<double> taps, std::size_t fft_size);
+
+  [[nodiscard]] std::size_t block_size() const { return block_; }
+  [[nodiscard]] std::size_t fft_size() const { return n_; }
+  [[nodiscard]] std::size_t taps() const { return k_; }
+
+  // Pre-load the K-1 history samples (most recent last).
+  void prime_history(const std::vector<double>& past);
+
+  // Process one block of block_size() input samples; returns block_size()
+  // outputs where output j corresponds to the convolution aligned so the
+  // newest input sample of the window is x[j] (i.e. y[j] uses x[j-k]).
+  std::vector<double> process(const std::vector<double>& in);
+
+  // Real-op cost of one block (two FFTs + pointwise multiply).
+  [[nodiscard]] double cost_per_block() const;
+
+ private:
+  std::size_t n_;      // FFT size
+  std::size_t k_;      // taps
+  std::size_t block_;  // n - k + 1
+  std::vector<cplx> h_freq_;
+  std::vector<double> history_;  // k-1 most recent past samples
+};
+
+}  // namespace sit::fft

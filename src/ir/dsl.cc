@@ -1,0 +1,9 @@
+#include "ir/dsl.h"
+
+namespace sit::ir::dsl {
+
+NodeP identity(const std::string& name) {
+  return filter(name).rates(1, 1, 1).work(seq({push_(pop_())})).node();
+}
+
+}  // namespace sit::ir::dsl

@@ -1,0 +1,186 @@
+#pragma once
+// Builder eDSL for work functions and filter specs.
+//
+// The paper's benchmarks are written in StreamIt's Java syntax; here the same
+// programs are authored in C++ against this small expression-wrapper DSL,
+// which produces the exact AST of ast.h.  Example (a 5-tap FIR):
+//
+//   FilterSpec f = filter("FIR").rates(5, 1, 1)
+//       .array("h", 5)
+//       .init(for_("i", 0, 5, set_at("h", v("i"), ...)))
+//       .work(seq({let("sum", c(0.0)),
+//                  for_("i", 0, 5,
+//                       let("sum", v("sum") + peek_(v("i")) * at("h", v("i")))),
+//                  discard(1), push_(v("sum"))}));
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/ast.h"
+#include "ir/filter.h"
+#include "ir/graph.h"
+
+namespace sit::ir::dsl {
+
+// ---- expression wrapper ------------------------------------------------------
+
+struct E {
+  ExprP e;
+  E(ExprP p) : e(std::move(p)) {}                 // NOLINT
+  E(int i) : e(iconst(i)) {}                      // NOLINT
+  E(std::int64_t i) : e(iconst(i)) {}             // NOLINT
+  E(double d) : e(fconst(d)) {}                   // NOLINT
+  operator ExprP() const { return e; }            // NOLINT
+};
+
+inline E c(double d) { return E(fconst(d)); }
+inline E ci(std::int64_t i) { return E(iconst(i)); }
+inline E v(std::string name) { return E(var(std::move(name))); }
+inline E at(std::string name, E idx) { return E(aref(std::move(name), idx.e)); }
+inline E peek_(E idx) { return E(peek(idx.e)); }
+inline E pop_() { return E(pop()); }
+
+inline E operator+(E a, E b) { return E(bin(BinOp::Add, a.e, b.e)); }
+inline E operator-(E a, E b) { return E(bin(BinOp::Sub, a.e, b.e)); }
+inline E operator*(E a, E b) { return E(bin(BinOp::Mul, a.e, b.e)); }
+inline E operator/(E a, E b) { return E(bin(BinOp::Div, a.e, b.e)); }
+inline E operator%(E a, E b) { return E(bin(BinOp::Mod, a.e, b.e)); }
+inline E operator-(E a) { return E(un(UnOp::Neg, a.e)); }
+inline E operator<(E a, E b) { return E(bin(BinOp::Lt, a.e, b.e)); }
+inline E operator<=(E a, E b) { return E(bin(BinOp::Le, a.e, b.e)); }
+inline E operator>(E a, E b) { return E(bin(BinOp::Gt, a.e, b.e)); }
+inline E operator>=(E a, E b) { return E(bin(BinOp::Ge, a.e, b.e)); }
+inline E operator==(E a, E b) { return E(bin(BinOp::Eq, a.e, b.e)); }
+inline E operator!=(E a, E b) { return E(bin(BinOp::Ne, a.e, b.e)); }
+inline E operator&&(E a, E b) { return E(bin(BinOp::LAnd, a.e, b.e)); }
+inline E operator||(E a, E b) { return E(bin(BinOp::LOr, a.e, b.e)); }
+inline E operator&(E a, E b) { return E(bin(BinOp::BAnd, a.e, b.e)); }
+inline E operator|(E a, E b) { return E(bin(BinOp::BOr, a.e, b.e)); }
+inline E operator^(E a, E b) { return E(bin(BinOp::BXor, a.e, b.e)); }
+inline E operator<<(E a, E b) { return E(bin(BinOp::Shl, a.e, b.e)); }
+inline E operator>>(E a, E b) { return E(bin(BinOp::Shr, a.e, b.e)); }
+
+inline E min_(E a, E b) { return E(bin(BinOp::Min, a.e, b.e)); }
+inline E max_(E a, E b) { return E(bin(BinOp::Max, a.e, b.e)); }
+inline E pow_(E a, E b) { return E(bin(BinOp::Pow, a.e, b.e)); }
+inline E sin_(E a) { return E(un(UnOp::Sin, a.e)); }
+inline E cos_(E a) { return E(un(UnOp::Cos, a.e)); }
+inline E tan_(E a) { return E(un(UnOp::Tan, a.e)); }
+inline E exp_(E a) { return E(un(UnOp::Exp, a.e)); }
+inline E log_(E a) { return E(un(UnOp::Log, a.e)); }
+inline E sqrt_(E a) { return E(un(UnOp::Sqrt, a.e)); }
+inline E abs_(E a) { return E(un(UnOp::Abs, a.e)); }
+inline E floor_(E a) { return E(un(UnOp::Floor, a.e)); }
+inline E to_int(E a) { return E(un(UnOp::ToInt, a.e)); }
+inline E to_float(E a) { return E(un(UnOp::ToFloat, a.e)); }
+inline E sel(E cnd, E t, E f) { return E(cond(cnd.e, t.e, f.e)); }
+
+// ---- statement helpers -------------------------------------------------------
+
+inline StmtP seq(std::vector<StmtP> stmts) { return block(std::move(stmts)); }
+inline StmtP let(std::string name, E val) { return assign(std::move(name), val.e); }
+inline StmtP set_at(std::string name, E idx, E val) {
+  return array_assign(std::move(name), idx.e, val.e);
+}
+inline StmtP push_(E val) { return push(val.e); }
+inline StmtP discard(int n) { return pop_n(iconst(n)); }
+inline StmtP for_(std::string vname, E lo, E hi, StmtP body) {
+  return for_loop(std::move(vname), lo.e, hi.e, std::move(body));
+}
+inline StmtP for_(std::string vname, E lo, E hi, std::vector<StmtP> body) {
+  return for_loop(std::move(vname), lo.e, hi.e, block(std::move(body)));
+}
+inline StmtP if_(E cnd, StmtP body) { return if_then(cnd.e, std::move(body)); }
+inline StmtP if_(E cnd, StmtP body, StmtP els) {
+  return if_else(cnd.e, std::move(body), std::move(els));
+}
+
+// ---- filter spec builder -------------------------------------------------------
+
+class FilterBuilder {
+ public:
+  explicit FilterBuilder(std::string name) { spec_.name = std::move(name); }
+
+  FilterBuilder& rates(int peek, int pop, int push) {
+    spec_.peek = peek;
+    spec_.pop = pop;
+    spec_.push = push;
+    return *this;
+  }
+
+  FilterBuilder& scalar(std::string name, Value initial = Value{0.0}) {
+    VarDecl d;
+    d.name = std::move(name);
+    d.init = {initial};
+    spec_.state.push_back(std::move(d));
+    return *this;
+  }
+
+  FilterBuilder& iscalar(std::string name, std::int64_t initial = 0) {
+    VarDecl d;
+    d.name = std::move(name);
+    d.is_int = true;
+    d.init = {Value{initial}};
+    spec_.state.push_back(std::move(d));
+    return *this;
+  }
+
+  FilterBuilder& array(std::string name, std::int64_t size) {
+    VarDecl d;
+    d.name = std::move(name);
+    d.is_array = true;
+    d.size = size;
+    spec_.state.push_back(std::move(d));
+    return *this;
+  }
+
+  FilterBuilder& array_init(std::string name, std::vector<Value> values) {
+    VarDecl d;
+    d.name = std::move(name);
+    d.is_array = true;
+    d.size = static_cast<std::int64_t>(values.size());
+    d.init = std::move(values);
+    spec_.state.push_back(std::move(d));
+    return *this;
+  }
+
+  FilterBuilder& init(StmtP s) {
+    spec_.init = std::move(s);
+    return *this;
+  }
+  FilterBuilder& init(std::vector<StmtP> s) {
+    spec_.init = block(std::move(s));
+    return *this;
+  }
+
+  FilterBuilder& work(StmtP s) {
+    spec_.work = std::move(s);
+    return *this;
+  }
+  FilterBuilder& work(std::vector<StmtP> s) {
+    spec_.work = block(std::move(s));
+    return *this;
+  }
+
+  FilterBuilder& handler(std::string method, std::vector<std::string> params,
+                         StmtP body) {
+    spec_.handlers[std::move(method)] = Handler{std::move(params), std::move(body)};
+    return *this;
+  }
+
+  [[nodiscard]] FilterSpec build() const { return spec_; }
+  [[nodiscard]] NodeP node() const { return make_filter(spec_); }
+
+ private:
+  FilterSpec spec_;
+};
+
+inline FilterBuilder filter(std::string name) { return FilterBuilder(std::move(name)); }
+
+// An identity filter: pushes exactly what it pops.  Appears throughout the
+// paper's examples (FFT reordering, CheckFreqHop, ...).
+NodeP identity(const std::string& name = "Identity");
+
+}  // namespace sit::ir::dsl

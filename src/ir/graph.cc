@@ -1,0 +1,222 @@
+#include "ir/graph.h"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace sit::ir {
+
+namespace {
+NodeP make_node(Node::Kind k, std::string name) {
+  auto n = std::make_shared<Node>();
+  n->kind = k;
+  n->name = std::move(name);
+  return n;
+}
+}  // namespace
+
+NodeP make_filter(FilterSpec spec) {
+  auto n = make_node(Node::Kind::Filter, spec.name);
+  n->filter = std::move(spec);
+  return n;
+}
+
+NodeP make_native(NativeFilter nf) {
+  auto n = make_node(Node::Kind::Native, nf.name);
+  n->native = std::move(nf);
+  return n;
+}
+
+NodeP make_pipeline(std::string name, std::vector<NodeP> children) {
+  if (children.empty()) throw std::invalid_argument("pipeline with no children");
+  auto n = make_node(Node::Kind::Pipeline, std::move(name));
+  n->children = std::move(children);
+  return n;
+}
+
+NodeP make_splitjoin(std::string name, Splitter split, Joiner join,
+                     std::vector<NodeP> children) {
+  if (children.empty()) throw std::invalid_argument("splitjoin with no children");
+  auto n = make_node(Node::Kind::SplitJoin, std::move(name));
+  n->split = std::move(split);
+  n->join = std::move(join);
+  n->children = std::move(children);
+  return n;
+}
+
+NodeP make_feedback(std::string name, Joiner join, NodeP body, Splitter split,
+                    NodeP loop, int delay, std::vector<double> init_path) {
+  if (!body || !loop) throw std::invalid_argument("feedback loop needs body and loop");
+  auto n = make_node(Node::Kind::FeedbackLoop, std::move(name));
+  n->join = std::move(join);
+  n->split = std::move(split);
+  n->children = {std::move(body), std::move(loop)};
+  n->delay = delay;
+  n->init_path = std::move(init_path);
+  return n;
+}
+
+Splitter duplicate_split() {
+  Splitter s;
+  s.kind = SJKind::Duplicate;
+  return s;
+}
+
+Splitter roundrobin_split(std::vector<int> weights) {
+  Splitter s;
+  s.kind = SJKind::RoundRobin;
+  s.weights = std::move(weights);
+  return s;
+}
+
+Joiner roundrobin_join(std::vector<int> weights) {
+  Joiner j;
+  j.kind = SJKind::RoundRobin;
+  j.weights = std::move(weights);
+  return j;
+}
+
+void visit(const NodeP& root, const std::function<void(const NodeP&)>& fn) {
+  if (!root) return;
+  fn(root);
+  for (const auto& c : root->children) visit(c, fn);
+}
+
+int count_filters(const NodeP& root) {
+  int n = 0;
+  visit(root, [&](const NodeP& node) {
+    if (node->is_leaf()) ++n;
+  });
+  return n;
+}
+
+NodeP clone(const NodeP& root) {
+  if (!root) return nullptr;
+  auto n = std::make_shared<Node>(*root);
+  for (auto& c : n->children) c = clone(c);
+  return n;
+}
+
+namespace {
+
+void describe_rec(const NodeP& n, int depth, std::ostringstream& os) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (n->kind) {
+    case Node::Kind::Filter:
+      os << pad << "filter " << n->name << " (peek=" << n->filter.peek
+         << " pop=" << n->filter.pop << " push=" << n->filter.push << ")\n";
+      break;
+    case Node::Kind::Native:
+      os << pad << "native " << n->name << " (peek=" << n->native.peek
+         << " pop=" << n->native.pop << " push=" << n->native.push << ")\n";
+      break;
+    case Node::Kind::Pipeline:
+      os << pad << "pipeline " << n->name << " {\n";
+      for (const auto& c : n->children) describe_rec(c, depth + 1, os);
+      os << pad << "}\n";
+      break;
+    case Node::Kind::SplitJoin: {
+      os << pad << "splitjoin " << n->name << " split=";
+      if (n->split.kind == SJKind::Duplicate) {
+        os << "duplicate";
+      } else {
+        os << "roundrobin(";
+        for (std::size_t i = 0; i < n->split.weights.size(); ++i)
+          os << (i ? "," : "") << n->split.weights[i];
+        os << ")";
+      }
+      os << " join=roundrobin(";
+      for (std::size_t i = 0; i < n->join.weights.size(); ++i)
+        os << (i ? "," : "") << n->join.weights[i];
+      os << ") {\n";
+      for (const auto& c : n->children) describe_rec(c, depth + 1, os);
+      os << pad << "}\n";
+      break;
+    }
+    case Node::Kind::FeedbackLoop:
+      os << pad << "feedbackloop " << n->name << " delay=" << n->delay << " {\n";
+      os << pad << "  body:\n";
+      describe_rec(n->children[0], depth + 2, os);
+      os << pad << "  loop:\n";
+      describe_rec(n->children[1], depth + 2, os);
+      os << pad << "}\n";
+      break;
+  }
+}
+
+void dot_rec(const NodeP& n, int& id, std::ostringstream& os,
+             int& in_node, int& out_node) {
+  switch (n->kind) {
+    case Node::Kind::Filter:
+    case Node::Kind::Native: {
+      const int me = id++;
+      os << "  n" << me << " [label=\"" << n->name << "\"];\n";
+      in_node = out_node = me;
+      break;
+    }
+    case Node::Kind::Pipeline: {
+      int prev_out = -1;
+      int first_in = -1;
+      for (const auto& c : n->children) {
+        int ci = -1, co = -1;
+        dot_rec(c, id, os, ci, co);
+        if (first_in < 0) first_in = ci;
+        if (prev_out >= 0) os << "  n" << prev_out << " -> n" << ci << ";\n";
+        prev_out = co;
+      }
+      in_node = first_in;
+      out_node = prev_out;
+      break;
+    }
+    case Node::Kind::SplitJoin: {
+      const int sp = id++;
+      const int jn = id++;
+      os << "  n" << sp << " [shape=triangle,label=\"split\"];\n";
+      os << "  n" << jn << " [shape=invtriangle,label=\"join\"];\n";
+      for (const auto& c : n->children) {
+        int ci = -1, co = -1;
+        dot_rec(c, id, os, ci, co);
+        os << "  n" << sp << " -> n" << ci << ";\n";
+        os << "  n" << co << " -> n" << jn << ";\n";
+      }
+      in_node = sp;
+      out_node = jn;
+      break;
+    }
+    case Node::Kind::FeedbackLoop: {
+      const int jn = id++;
+      const int sp = id++;
+      os << "  n" << jn << " [shape=invtriangle,label=\"fb-join\"];\n";
+      os << "  n" << sp << " [shape=triangle,label=\"fb-split\"];\n";
+      int bi = -1, bo = -1, li = -1, lo = -1;
+      dot_rec(n->children[0], id, os, bi, bo);
+      dot_rec(n->children[1], id, os, li, lo);
+      os << "  n" << jn << " -> n" << bi << ";\n";
+      os << "  n" << bo << " -> n" << sp << ";\n";
+      os << "  n" << sp << " -> n" << li << " [style=dashed];\n";
+      os << "  n" << lo << " -> n" << jn << " [style=dashed];\n";
+      in_node = jn;
+      out_node = sp;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string describe(const NodeP& root) {
+  std::ostringstream os;
+  describe_rec(root, 0, os);
+  return os.str();
+}
+
+std::string to_dot(const NodeP& root) {
+  std::ostringstream os;
+  os << "digraph stream {\n  rankdir=TB;\n  node [shape=box];\n";
+  int id = 0, in = -1, out = -1;
+  dot_rec(root, id, os, in, out);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sit::ir

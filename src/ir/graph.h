@@ -1,0 +1,112 @@
+#pragma once
+// The hierarchical stream graph.
+//
+// StreamIt composes single-input single-output blocks recursively:
+//   Pipeline      -- children in sequence
+//   SplitJoin     -- splitter, parallel children, joiner
+//   FeedbackLoop  -- joiner, body, splitter, loop (back edge), with `delay`
+//                    initial items on the back edge supplied by initPath
+// Leaves are filters (AST or native).  The structured hierarchy -- rather
+// than an arbitrary graph -- is what makes the paper's analyses (linear
+// combination over pipelines/splitjoins, partitioning, wavefront transfer
+// functions) compositional.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/filter.h"
+
+namespace sit::ir {
+
+enum class SJKind {
+  Duplicate,   // splitter only: copy each item to every branch
+  RoundRobin,  // weighted round robin (weights per branch)
+  Null,        // processes no items (legal only where the paper allows)
+};
+
+struct Splitter {
+  SJKind kind{SJKind::RoundRobin};
+  std::vector<int> weights;  // used when kind == RoundRobin
+
+  [[nodiscard]] int total_weight() const {
+    int t = 0;
+    for (int w : weights) t += w;
+    return t;
+  }
+};
+
+struct Joiner {
+  SJKind kind{SJKind::RoundRobin};  // Duplicate is not a legal joiner
+  std::vector<int> weights;
+
+  [[nodiscard]] int total_weight() const {
+    int t = 0;
+    for (int w : weights) t += w;
+    return t;
+  }
+};
+
+struct Node;
+using NodeP = std::shared_ptr<Node>;
+
+struct Node {
+  enum class Kind { Filter, Native, Pipeline, SplitJoin, FeedbackLoop };
+
+  Kind kind{};
+  std::string name;
+
+  FilterSpec filter;    // Kind::Filter
+  NativeFilter native;  // Kind::Native
+
+  // Pipeline: children in order.  SplitJoin: parallel branches.
+  // FeedbackLoop: children[0] = body, children[1] = loop.
+  std::vector<NodeP> children;
+
+  Splitter split;  // SplitJoin, FeedbackLoop
+  Joiner join;     // SplitJoin, FeedbackLoop
+
+  // FeedbackLoop only: number of items initially on the back edge, and their
+  // values (initPath(0..delay-1) pre-evaluated).
+  int delay{0};
+  std::vector<double> init_path;
+
+  [[nodiscard]] bool is_leaf() const {
+    return kind == Kind::Filter || kind == Kind::Native;
+  }
+};
+
+// ---- constructors -----------------------------------------------------------
+
+NodeP make_filter(FilterSpec spec);
+NodeP make_native(NativeFilter nf);
+NodeP make_pipeline(std::string name, std::vector<NodeP> children);
+NodeP make_splitjoin(std::string name, Splitter split, Joiner join,
+                     std::vector<NodeP> children);
+NodeP make_feedback(std::string name, Joiner join, NodeP body, Splitter split,
+                    NodeP loop, int delay, std::vector<double> init_path);
+
+Splitter duplicate_split();
+Splitter roundrobin_split(std::vector<int> weights);
+Joiner roundrobin_join(std::vector<int> weights);
+
+// ---- traversal / queries ----------------------------------------------------
+
+// Visit every node (pre-order).  The visitor may not mutate the graph shape.
+void visit(const NodeP& root, const std::function<void(const NodeP&)>& fn);
+
+// Number of leaf filters in the subtree.
+int count_filters(const NodeP& root);
+
+// Deep copy (fresh Node objects; shared immutable ASTs are reused).
+NodeP clone(const NodeP& root);
+
+// Aggregate I/O rates of an arbitrary subtree per one of its executions is
+// computed by the scheduler (sched/rates.h); the graph itself stores none.
+
+// ---- printing ---------------------------------------------------------------
+
+std::string describe(const NodeP& root);              // indented text form
+std::string to_dot(const NodeP& root);                // GraphViz
+
+}  // namespace sit::ir

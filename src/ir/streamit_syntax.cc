@@ -1,0 +1,304 @@
+#include "ir/streamit_syntax.h"
+
+#include <map>
+#include <sstream>
+
+namespace sit::ir {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  if (out.empty() || (std::isdigit(static_cast<unsigned char>(out[0])) != 0)) {
+    out = "S" + out;
+  }
+  return out;
+}
+
+void emit_expr(const ExprP& e, std::ostringstream& os) {
+  switch (e->kind) {
+    case Expr::Kind::IntConst:
+      os << e->ival;
+      break;
+    case Expr::Kind::FloatConst:
+      os << e->fval << "f";
+      break;
+    case Expr::Kind::Var:
+      os << e->name;
+      break;
+    case Expr::Kind::ArrayRef:
+      os << e->name << "[";
+      emit_expr(e->a, os);
+      os << "]";
+      break;
+    case Expr::Kind::Peek:
+      os << "input.peek(";
+      emit_expr(e->a, os);
+      os << ")";
+      break;
+    case Expr::Kind::Pop:
+      os << "input.pop()";
+      break;
+    case Expr::Kind::Bin:
+      switch (e->bop) {
+        case BinOp::Min:
+        case BinOp::Max:
+        case BinOp::Pow:
+          os << (e->bop == BinOp::Min ? "min(" : e->bop == BinOp::Max ? "max(" : "pow(");
+          emit_expr(e->a, os);
+          os << ", ";
+          emit_expr(e->b, os);
+          os << ")";
+          break;
+        default:
+          os << "(";
+          emit_expr(e->a, os);
+          os << " " << to_string(e->bop) << " ";
+          emit_expr(e->b, os);
+          os << ")";
+      }
+      break;
+    case Expr::Kind::Un:
+      os << to_string(e->uop) << "(";
+      emit_expr(e->a, os);
+      os << ")";
+      break;
+    case Expr::Kind::Cond:
+      os << "(";
+      emit_expr(e->a, os);
+      os << " ? ";
+      emit_expr(e->b, os);
+      os << " : ";
+      emit_expr(e->c, os);
+      os << ")";
+      break;
+  }
+}
+
+std::string expr(const ExprP& e) {
+  std::ostringstream os;
+  emit_expr(e, os);
+  return os.str();
+}
+
+void emit_stmt(const StmtP& s, int depth, std::ostringstream& os) {
+  if (!s) return;
+  const std::string pad(static_cast<std::size_t>(depth) * 3, ' ');
+  switch (s->kind) {
+    case Stmt::Kind::Block:
+      for (const auto& c : s->stmts) emit_stmt(c, depth, os);
+      break;
+    case Stmt::Kind::Assign:
+      os << pad << s->name << " = " << expr(s->value) << ";\n";
+      break;
+    case Stmt::Kind::ArrayAssign:
+      os << pad << s->name << "[" << expr(s->index) << "] = " << expr(s->value)
+         << ";\n";
+      break;
+    case Stmt::Kind::Push:
+      os << pad << "output.push(" << expr(s->value) << ");\n";
+      break;
+    case Stmt::Kind::PopN:
+      os << pad << "for (int _p = 0; _p < " << expr(s->index)
+         << "; _p++) input.pop();\n";
+      break;
+    case Stmt::Kind::For:
+      os << pad << "for (int " << s->name << " = " << expr(s->lo) << "; "
+         << s->name << " < " << expr(s->hi) << "; " << s->name
+         << " += " << expr(s->step) << ") {\n";
+      emit_stmt(s->body, depth + 1, os);
+      os << pad << "}\n";
+      break;
+    case Stmt::Kind::If:
+      os << pad << "if (" << expr(s->cond) << ") {\n";
+      emit_stmt(s->body, depth + 1, os);
+      if (s->elseBody) {
+        os << pad << "} else {\n";
+        emit_stmt(s->elseBody, depth + 1, os);
+      }
+      os << pad << "}\n";
+      break;
+    case Stmt::Kind::Send: {
+      os << pad << s->name << "." << s->method << "(";
+      for (std::size_t i = 0; i < s->args.size(); ++i) {
+        os << (i ? ", " : "") << expr(s->args[i]);
+      }
+      os << ", new TimeInterval(" << s->latMin << ", " << s->latMax << "));\n";
+      break;
+    }
+  }
+}
+
+void emit_split(const Splitter& sp, std::ostringstream& os) {
+  if (sp.kind == SJKind::Duplicate) {
+    os << "      setSplitter(DUPLICATE);\n";
+  } else if (sp.kind == SJKind::Null) {
+    os << "      setSplitter(NULL);\n";
+  } else {
+    os << "      setSplitter(WEIGHTED_ROUND_ROBIN(";
+    for (std::size_t i = 0; i < sp.weights.size(); ++i) {
+      os << (i ? ", " : "") << sp.weights[i];
+    }
+    os << "));\n";
+  }
+}
+
+void emit_join(const Joiner& jn, std::ostringstream& os) {
+  if (jn.kind == SJKind::Null) {
+    os << "      setJoiner(NULL);\n";
+    return;
+  }
+  os << "      setJoiner(WEIGHTED_ROUND_ROBIN(";
+  for (std::size_t i = 0; i < jn.weights.size(); ++i) {
+    os << (i ? ", " : "") << jn.weights[i];
+  }
+  os << "));\n";
+}
+
+class Emitter {
+ public:
+  std::string run(const NodeP& root) {
+    const std::string top = emit(root);
+    std::ostringstream os;
+    for (const auto& cls : order_) os << classes_.at(cls) << "\n";
+    os << "class Main extends Stream {\n   void init() {\n      add(new "
+       << top << "());\n   }\n}\n";
+    return os.str();
+  }
+
+ private:
+  std::string unique(const std::string& base) {
+    std::string name = sanitize(base);
+    int n = 1;
+    while (classes_.count(name) != 0) name = sanitize(base) + std::to_string(n++);
+    return name;
+  }
+
+  std::string emit(const NodeP& node) {
+    std::ostringstream os;
+    switch (node->kind) {
+      case Node::Kind::Filter: {
+        const std::string cls = unique(node->filter.name);
+        classes_[cls] = "";  // reserve
+        classes_[cls] = filter_to_streamit_named(node->filter, cls);
+        order_.push_back(cls);
+        return cls;
+      }
+      case Node::Kind::Native: {
+        const std::string cls = unique(node->native.name);
+        std::ostringstream c;
+        c << "// native (compiler-generated) filter: peek=" << node->native.peek
+          << " pop=" << node->native.pop << " push=" << node->native.push
+          << "\nclass " << cls << " extends Filter { /* opaque */ }\n";
+        classes_[cls] = c.str();
+        order_.push_back(cls);
+        return cls;
+      }
+      case Node::Kind::Pipeline: {
+        std::vector<std::string> kids;
+        kids.reserve(node->children.size());
+        for (const auto& ch : node->children) kids.push_back(emit(ch));
+        const std::string cls = unique(node->name);
+        os << "class " << cls << " extends Stream {\n   void init() {\n";
+        for (const auto& k : kids) os << "      add(new " << k << "());\n";
+        os << "   }\n}\n";
+        classes_[cls] = os.str();
+        order_.push_back(cls);
+        return cls;
+      }
+      case Node::Kind::SplitJoin: {
+        std::vector<std::string> kids;
+        for (const auto& ch : node->children) kids.push_back(emit(ch));
+        const std::string cls = unique(node->name);
+        os << "class " << cls << " extends SplitJoin {\n   void init() {\n";
+        emit_split(node->split, os);
+        for (const auto& k : kids) os << "      add(new " << k << "());\n";
+        emit_join(node->join, os);
+        os << "   }\n}\n";
+        classes_[cls] = os.str();
+        order_.push_back(cls);
+        return cls;
+      }
+      case Node::Kind::FeedbackLoop: {
+        const std::string body = emit(node->children[0]);
+        const std::string loop = emit(node->children[1]);
+        const std::string cls = unique(node->name);
+        os << "class " << cls << " extends FeedbackLoop {\n   void init() {\n";
+        emit_join(node->join, os);
+        os << "      setBody(new " << body << "());\n";
+        emit_split(node->split, os);
+        os << "      setLoop(new " << loop << "());\n";
+        os << "      setDelay(" << node->delay << ");\n";
+        os << "   }\n";
+        os << "   float initPath(int index) {\n      float[] v = {";
+        for (std::size_t i = 0; i < node->init_path.size(); ++i) {
+          os << (i ? ", " : "") << node->init_path[i] << "f";
+        }
+        os << "};\n      return v[index];\n   }\n}\n";
+        classes_[cls] = os.str();
+        order_.push_back(cls);
+        return cls;
+      }
+    }
+    return "?";
+  }
+
+  static std::string filter_to_streamit_named(const FilterSpec& f,
+                                              const std::string& cls) {
+    std::ostringstream os;
+    os << "class " << cls << " extends Filter {\n";
+    os << "   Channel input = new FloatChannel();   // peek " << f.peek
+       << ", pop " << f.pop << "\n";
+    os << "   Channel output = new FloatChannel();  // push " << f.push << "\n";
+    for (const auto& d : f.state) {
+      if (d.is_array) {
+        os << "   " << (d.is_int ? "int" : "float") << " " << d.name << "[] = new "
+           << (d.is_int ? "int" : "float") << "[" << d.size << "];\n";
+      } else {
+        os << "   " << (d.is_int ? "int" : "float") << " " << d.name << ";\n";
+      }
+    }
+    os << "   void init() {\n";
+    for (const auto& d : f.state) {
+      if (!d.is_array && !d.init.empty()) {
+        os << "      " << d.name << " = " << d.init[0].str() << ";\n";
+      }
+    }
+    if (f.init) emit_stmt(f.init, 2, os);
+    os << "   }\n";
+    os << "   void work() {\n";
+    emit_stmt(f.work, 2, os);
+    os << "   }\n";
+    for (const auto& [method, h] : f.handlers) {
+      os << "   void " << method << "(";
+      for (std::size_t i = 0; i < h.params.size(); ++i) {
+        os << (i ? ", " : "") << "float " << h.params[i];
+      }
+      os << ") {\n";
+      emit_stmt(h.body, 2, os);
+      os << "   }\n";
+    }
+    os << "}\n";
+    return os.str();
+  }
+
+  std::map<std::string, std::string> classes_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace
+
+std::string filter_to_streamit(const FilterSpec& spec) {
+  Emitter e;
+  return to_streamit(make_filter(spec));
+}
+
+std::string to_streamit(const NodeP& root) {
+  Emitter e;
+  return e.run(root);
+}
+
+}  // namespace sit::ir

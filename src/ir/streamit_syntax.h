@@ -1,0 +1,24 @@
+#pragma once
+// StreamIt surface-syntax emitter.
+//
+// Renders a stream graph in the Java-like syntax of the paper's appendix
+// (classes extending Filter / Stream / SplitJoin / FeedbackLoop, with
+// input.pop()/peek() and output.push() in work functions).  Useful for
+// inspecting compiler output in the paper's own notation and for
+// documentation; this is an emitter only -- programs are authored via the
+// builder DSL.
+
+#include <string>
+
+#include "ir/graph.h"
+
+namespace sit::ir {
+
+// Whole-program rendering (one class per distinct node, plus a top-level
+// class wiring them together).
+std::string to_streamit(const NodeP& root);
+
+// Just one filter's class.
+std::string filter_to_streamit(const FilterSpec& spec);
+
+}  // namespace sit::ir

@@ -1,0 +1,48 @@
+#pragma once
+// Semantic checking of stream programs.
+//
+// Implements the StreamIt restrictions from the paper's appendix that are
+// checkable on the IR:
+//   * work functions peek/pop/push a constant number of items matching the
+//     declared rates (checked structurally: channel ops may not appear under
+//     non-constant control flow in ways that change counts);
+//   * weighted round-robin splitter/joiner arity matches the branch count;
+//   * zero-weight rule: a branch whose first filter pops zero items must have
+//     splitter weight 0, and dually for the joiner;
+//   * a feedback loop's splitter and joiner must be binary and non-null;
+//   * message handlers do not touch channels;
+//   * a node instance appears at most once in the graph.
+//
+// check() returns the list of violations (empty = valid program).
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace sit::ir {
+
+struct Violation {
+  std::string where;
+  std::string message;
+};
+
+std::vector<Violation> check(const NodeP& root);
+
+// Throwing convenience used by the executors.
+void check_or_throw(const NodeP& root);
+
+// Count the channel operations performed by one execution of `work` assuming
+// all loop bounds are compile-time constants.  Returns {pops, pushes, maxPeek}
+// where maxPeek is the highest statically-visible peek offset + 1 (0 if the
+// offsets are not static).  Used both by check() and by analyses.
+struct ChannelCounts {
+  int pops{0};
+  int pushes{0};
+  int max_peek{0};
+  bool static_counts{true};
+};
+
+ChannelCounts count_channel_ops(const StmtP& work);
+
+}  // namespace sit::ir

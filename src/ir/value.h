@@ -1,0 +1,49 @@
+#pragma once
+// Runtime value for the work-function interpreter and filter state.
+//
+// StreamIt 1.0 channels carry a single numeric type; we model both the
+// integer benchmarks (DES, Serpent, BitonicSort) and the floating-point DSP
+// benchmarks with a small tagged value.  Channel items themselves are stored
+// as double (see runtime/channel.h); Value appears in interpreter
+// environments where exact integer semantics (Mod, Shl, BXor, ...) matter.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+namespace sit::ir {
+
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  Value(std::int64_t i) : v_(i) {}  // NOLINT(google-explicit-constructor)
+  Value(int i) : v_(std::int64_t{i}) {}  // NOLINT
+  Value(double d) : v_(d) {}  // NOLINT
+  Value(bool b) : v_(std::int64_t{b ? 1 : 0}) {}  // NOLINT
+
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+
+  [[nodiscard]] std::int64_t as_int() const {
+    if (is_int()) return std::get<std::int64_t>(v_);
+    return static_cast<std::int64_t>(std::get<double>(v_));
+  }
+
+  [[nodiscard]] double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+    return std::get<double>(v_);
+  }
+
+  [[nodiscard]] bool truthy() const {
+    return is_int() ? as_int() != 0 : as_double() != 0.0;
+  }
+
+  [[nodiscard]] std::string str() const {
+    return is_int() ? std::to_string(as_int()) : std::to_string(as_double());
+  }
+
+ private:
+  std::variant<std::int64_t, double> v_;
+};
+
+}  // namespace sit::ir

@@ -1,0 +1,227 @@
+#include "linear/combine.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "sched/rational.h"
+
+namespace sit::linear {
+
+using sched::Rat;
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+// Drop trailing window positions no output references (keeps peek >= pop and
+// keeps position 0 anchored, which the firing alignment requires).
+void trim_tail(LinearRep& rep) {
+  int last_used = -1;
+  for (int o = 0; o < rep.push; ++o) {
+    for (int i = rep.peek - 1; i > last_used; --i) {
+      if (rep.A.at(static_cast<std::size_t>(o), static_cast<std::size_t>(i)) != 0.0) {
+        last_used = i;
+        break;
+      }
+    }
+  }
+  const int new_peek = std::max(rep.pop, last_used + 1);
+  if (new_peek == rep.peek) return;
+  Matrix trimmed(static_cast<std::size_t>(rep.push), static_cast<std::size_t>(new_peek));
+  for (int o = 0; o < rep.push; ++o) {
+    for (int i = 0; i < new_peek; ++i) {
+      trimmed.at(static_cast<std::size_t>(o), static_cast<std::size_t>(i)) =
+          rep.A.at(static_cast<std::size_t>(o), static_cast<std::size_t>(i));
+    }
+  }
+  rep.A = std::move(trimmed);
+  rep.peek = new_peek;
+}
+
+}  // namespace
+
+LinearRep expand(const LinearRep& rep, int k) {
+  if (k < 1) throw std::invalid_argument("expand factor must be >= 1");
+  if (k == 1) return rep;
+  LinearRep e;
+  e.peek = rep.peek + (k - 1) * rep.pop;
+  e.pop = k * rep.pop;
+  e.push = k * rep.push;
+  e.A = Matrix(static_cast<std::size_t>(e.push), static_cast<std::size_t>(e.peek));
+  e.b.assign(static_cast<std::size_t>(e.push), 0.0);
+  for (int f = 0; f < k; ++f) {
+    for (int s = 0; s < rep.push; ++s) {
+      const int o = f * rep.push + s;
+      for (int i = 0; i < rep.peek; ++i) {
+        e.A.at(static_cast<std::size_t>(o),
+               static_cast<std::size_t>(f * rep.pop + i)) =
+            rep.A.at(static_cast<std::size_t>(s), static_cast<std::size_t>(i));
+      }
+      e.b[static_cast<std::size_t>(o)] = rep.b[static_cast<std::size_t>(s)];
+    }
+  }
+  return e;
+}
+
+LinearRep combine_pipeline(const LinearRep& a, const LinearRep& b) {
+  if (a.push <= 0 || b.pop <= 0) {
+    throw std::invalid_argument("pipeline combination needs push_A > 0 and pop_B > 0");
+  }
+  const std::int64_t m = std::lcm(a.push, b.pop);
+  const std::int64_t ka = m / a.push;
+  const std::int64_t kb = m / b.pop;
+  const std::int64_t extra = b.peek - b.pop;  // >= 0 by construction
+  const std::int64_t nf = ka + (extra > 0 ? ceil_div(extra, a.push) : 0);
+
+  LinearRep c;
+  c.pop = static_cast<int>(ka) * a.pop;
+  c.peek = a.peek + static_cast<int>(nf - 1) * a.pop;
+  c.push = static_cast<int>(kb) * b.push;
+  c.A = Matrix(static_cast<std::size_t>(c.push), static_cast<std::size_t>(c.peek));
+  c.b.assign(static_cast<std::size_t>(c.push), 0.0);
+
+  // A-output w (w-th item A pushes while processing the combined window):
+  // produced by A's in-window firing jw = w / push_A at slot sw = w % push_A,
+  // reading window positions jw*pop_A + i.
+  for (std::int64_t f = 0; f < kb; ++f) {
+    for (int s = 0; s < b.push; ++s) {
+      const std::int64_t o = f * b.push + s;
+      double& bc = c.b[static_cast<std::size_t>(o)];
+      bc = b.b[static_cast<std::size_t>(s)];
+      for (int i = 0; i < b.peek; ++i) {
+        const double bw = b.A.at(static_cast<std::size_t>(s), static_cast<std::size_t>(i));
+        if (bw == 0.0) continue;
+        const std::int64_t w = f * b.pop + i;
+        const std::int64_t jw = w / a.push;
+        const int sw = static_cast<int>(w % a.push);
+        bc += bw * a.b[static_cast<std::size_t>(sw)];
+        for (int ii = 0; ii < a.peek; ++ii) {
+          const double aw =
+              a.A.at(static_cast<std::size_t>(sw), static_cast<std::size_t>(ii));
+          if (aw == 0.0) continue;
+          c.A.at(static_cast<std::size_t>(o),
+                 static_cast<std::size_t>(jw * a.pop + ii)) += bw * aw;
+        }
+      }
+    }
+  }
+  trim_tail(c);
+  return c;
+}
+
+LinearRep combine_pipeline(const std::vector<LinearRep>& chain) {
+  if (chain.empty()) throw std::invalid_argument("empty chain");
+  LinearRep acc = chain[0];
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    acc = combine_pipeline(acc, chain[i]);
+  }
+  return acc;
+}
+
+LinearRep combine_splitjoin(const ir::Splitter& split,
+                            const std::vector<LinearRep>& children,
+                            const std::vector<int>& join_weights) {
+  const std::size_t n = children.size();
+  if (n == 0 || join_weights.size() != n) {
+    throw std::invalid_argument("splitjoin combination arity mismatch");
+  }
+  const bool dup = split.kind == ir::SJKind::Duplicate;
+  if (!dup && split.weights.size() != n) {
+    throw std::invalid_argument("splitter weight arity mismatch");
+  }
+  std::int64_t SW = 0;
+  std::vector<std::int64_t> pre(n, 0);
+  if (!dup) {
+    for (std::size_t i = 0; i < n; ++i) {
+      pre[i] = SW;
+      SW += split.weights[i];
+    }
+  }
+  std::int64_t JW = 0;
+  for (int w : join_weights) JW += w;
+
+  // Balance: child firings r_i, split cycles c_s (=1 symbolically), joiner
+  // cycles c_j.  All children must produce a consistent c_j.
+  std::vector<Rat> r(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (children[i].pop <= 0 || children[i].push <= 0 || join_weights[i] <= 0 ||
+        (!dup && split.weights[i] <= 0)) {
+      throw std::invalid_argument(
+          "splitjoin combination requires positive rates and weights");
+    }
+    r[i] = dup ? Rat(1, children[i].pop)
+               : Rat(split.weights[i], children[i].pop);
+  }
+  Rat cj = r[0] * Rat(children[0].push, join_weights[0]);
+  for (std::size_t i = 1; i < n; ++i) {
+    const Rat want = r[i] * Rat(children[i].push, join_weights[i]);
+    if (want != cj) {
+      throw std::invalid_argument(
+          "splitjoin branches have inconsistent output rates");
+    }
+  }
+
+  // Scale everything to the least integer solution.
+  std::int64_t L = cj.den();
+  for (const auto& x : r) L = std::lcm(L, x.den());
+  std::vector<std::int64_t> ri(n);
+  std::int64_t g = cj.num() * (L / cj.den());
+  const std::int64_t cs_scaled = L;  // c_s (or D for duplicate) was Rat(1)
+  g = std::gcd(g, cs_scaled);
+  for (std::size_t i = 0; i < n; ++i) {
+    ri[i] = r[i].num() * (L / r[i].den());
+    g = std::gcd(g, ri[i]);
+  }
+  std::int64_t cjs = cj.num() * (L / cj.den());
+  std::int64_t css = cs_scaled;
+  if (g > 1) {
+    for (auto& x : ri) x /= g;
+    cjs /= g;
+    css /= g;
+  }
+
+  // Map a child's own input index to the split-join's input window index.
+  auto map_idx = [&](std::size_t i, std::int64_t u) -> std::int64_t {
+    if (dup) return u;
+    const std::int64_t w = split.weights[i];
+    return (u / w) * SW + pre[i] + (u % w);
+  };
+
+  LinearRep c;
+  c.pop = static_cast<int>(dup ? css : css * SW);
+  std::int64_t peek = c.pop;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t last =
+        map_idx(i, (ri[i] - 1) * children[i].pop + children[i].peek - 1);
+    peek = std::max(peek, last + 1);
+  }
+  c.peek = static_cast<int>(peek);
+  c.push = static_cast<int>(cjs * JW);
+  c.A = Matrix(static_cast<std::size_t>(c.push), static_cast<std::size_t>(c.peek));
+  c.b.assign(static_cast<std::size_t>(c.push), 0.0);
+
+  // Emit joiner output order: cycle by cycle, child by child, weight items.
+  std::int64_t out = 0;
+  for (std::int64_t cyc = 0; cyc < cjs; ++cyc) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int t = 0; t < join_weights[i]; ++t) {
+        const std::int64_t w = cyc * join_weights[i] + t;  // child output index
+        const std::int64_t f = w / children[i].push;
+        const int s = static_cast<int>(w % children[i].push);
+        c.b[static_cast<std::size_t>(out)] = children[i].b[static_cast<std::size_t>(s)];
+        for (int u = 0; u < children[i].peek; ++u) {
+          const double coeff =
+              children[i].A.at(static_cast<std::size_t>(s), static_cast<std::size_t>(u));
+          if (coeff == 0.0) continue;
+          const std::int64_t col = map_idx(i, f * children[i].pop + u);
+          c.A.at(static_cast<std::size_t>(out), static_cast<std::size_t>(col)) += coeff;
+        }
+        ++out;
+      }
+    }
+  }
+  trim_tail(c);
+  return c;
+}
+
+}  // namespace sit::linear

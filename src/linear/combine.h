@@ -1,0 +1,41 @@
+#pragma once
+// Linear combination: collapsing neighboring linear nodes into one linear
+// representation (the paper's pipeline and split-join combination rules).
+//
+// All rules are *firing-aligned* and exact as stream functions, including at
+// stream start.  The key construction for pipelines (A then B):
+//
+//   m   = lcm(push_A, pop_B); A fires ka = m/push_A, B fires kb = m/pop_B
+//   per combined firing.  If B peeks beyond what it pops (extra =
+//   peek_B - pop_B > 0), additional *redundant* firings of A are folded in
+//   to produce the outputs B peeks ahead at -- the combined filter peeks
+//   further into its own input instead.  This recomputation is precisely
+//   the trade-off the paper's optimization-selection cost model weighs.
+
+#include <optional>
+#include <vector>
+
+#include "ir/graph.h"
+#include "linear/linear_rep.h"
+
+namespace sit::linear {
+
+// Representation of k back-to-back firings as one firing.
+//   peek' = peek + (k-1)*pop, pop' = k*pop, push' = k*push.
+LinearRep expand(const LinearRep& rep, int k);
+
+// Pipeline combination of A followed by B.  Throws std::invalid_argument on
+// degenerate rates (pop_B == 0 or push_A == 0).
+LinearRep combine_pipeline(const LinearRep& a, const LinearRep& b);
+
+// Fold a whole chain left-to-right.
+LinearRep combine_pipeline(const std::vector<LinearRep>& chain);
+
+// Split-join combination.  `split` is Duplicate or RoundRobin with weights;
+// `join_weights` are the round-robin joiner weights.  Throws
+// std::invalid_argument when the branch rates cannot balance.
+LinearRep combine_splitjoin(const ir::Splitter& split,
+                            const std::vector<LinearRep>& children,
+                            const std::vector<int>& join_weights);
+
+}  // namespace sit::linear

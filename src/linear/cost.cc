@@ -1,0 +1,112 @@
+#include "linear/cost.h"
+
+#include <map>
+#include <mutex>
+
+#include "runtime/channel.h"
+#include "runtime/interp.h"
+#include "runtime/flatgraph.h"
+#include "sched/schedule.h"
+
+namespace sit::linear {
+
+namespace {
+
+// Count AST nodes as a last-resort work proxy.
+double ast_size(const ir::ExprP& e);
+
+double ast_size(const ir::StmtP& s) {
+  if (!s) return 0;
+  double n = 1;
+  for (const auto& c : s->stmts) n += ast_size(c);
+  n += ast_size(s->index) + ast_size(s->value) + ast_size(s->cond) +
+       ast_size(s->lo) + ast_size(s->hi);
+  n += ast_size(s->body) + ast_size(s->elseBody);
+  for (const auto& a : s->args) n += ast_size(a);
+  return n;
+}
+
+double ast_size(const ir::ExprP& e) {
+  if (!e) return 0;
+  return 1 + ast_size(e->a) + ast_size(e->b) + ast_size(e->c);
+}
+
+}  // namespace
+
+runtime::OpCounts estimate_work(const ir::FilterSpec& spec) {
+  // Memoize on the work AST.  The cache must hold a shared_ptr to the AST:
+  // keying on a raw pointer alone would let a freed AST's address be reused
+  // by a fresh allocation and serve a stale estimate.
+  struct Entry {
+    ir::StmtP pin;
+    runtime::OpCounts counts;
+  };
+  static std::map<const ir::Stmt*, Entry> cache;
+  static std::mutex mu;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(spec.work.get());
+    if (it != cache.end()) return it->second.counts;
+  }
+
+  runtime::OpCounts counts;
+  try {
+    runtime::FilterState st = runtime::Interp::init_state(spec);
+    runtime::Channel in, out;
+    for (int i = 0; i < spec.peek + 1; ++i) in.push_item(1.0);
+    runtime::Interp::run_work(spec, st, in, out, &counts);
+  } catch (const std::exception&) {
+    counts = runtime::OpCounts{};
+    counts.flops = static_cast<std::int64_t>(ast_size(spec.work));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    cache[spec.work.get()] = Entry{spec.work, counts};
+  }
+  return counts;
+}
+
+double leaf_flops_per_firing(const ir::Node& leaf) {
+  if (leaf.kind == ir::Node::Kind::Filter) {
+    return estimate_work(leaf.filter).total_flops();
+  }
+  if (leaf.kind == ir::Node::Kind::Native) {
+    return leaf.native.cost_flops;
+  }
+  return 0.0;
+}
+
+double leaf_ops_per_firing(const ir::Node& leaf) {
+  if (leaf.kind == ir::Node::Kind::Filter) {
+    return estimate_work(leaf.filter).weighted();
+  }
+  if (leaf.kind == ir::Node::Kind::Native) {
+    return leaf.native.cost_ops;
+  }
+  return 0.0;
+}
+
+NodeCost node_cost(const ir::NodeP& node) {
+  const runtime::FlatGraph g = runtime::flatten(node);
+  const sched::Schedule s = sched::make_schedule(g);
+  NodeCost c;
+  c.in_per_ss = s.input_per_steady;
+  c.out_per_ss = s.output_per_steady;
+  for (std::size_t i = 0; i < g.actors.size(); ++i) {
+    const auto& a = g.actors[i];
+    const double reps = static_cast<double>(s.reps[i]);
+    if (a.is_filter()) {
+      c.flops_per_ss += reps * leaf_flops_per_firing(*a.node);
+      c.ops_per_ss += reps * leaf_ops_per_firing(*a.node);
+    } else {
+      // A splitter/joiner firing moves its total weight in items.
+      std::int64_t items = 0;
+      for (int r : a.in_rate) items += r;
+      for (int r : a.out_rate) items += r;
+      c.sync_per_ss += reps * static_cast<double>(items);
+    }
+  }
+  return c;
+}
+
+}  // namespace sit::linear

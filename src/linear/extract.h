@@ -1,0 +1,38 @@
+#pragma once
+// Linear extraction analysis (paper section: "linear extraction analysis
+// that automatically detects linear filters based on the C-like code in
+// their work function").
+//
+// The work AST is abstractly interpreted over a lattice of
+//   Exact    -- a compile-time-known constant (ints for control/indexing,
+//               doubles for coefficients),
+//   Affine   -- an affine form  sum_i c_i * W[i] + k  over the peek window,
+//   Top      -- not expressible.
+//
+// State variables start from the concrete values the init function computes
+// (we simply run init with the interpreter).  A work function that *writes*
+// any state variable is rejected: its firings are not independent, so no
+// single matrix describes it -- this is also exactly the paper's notion of a
+// stateful filter, which the parallelization sections reuse.
+
+#include <optional>
+#include <string>
+
+#include "ir/filter.h"
+#include "linear/linear_rep.h"
+
+namespace sit::linear {
+
+struct ExtractResult {
+  std::optional<LinearRep> rep;  // engaged iff the filter is linear
+  std::string reason;            // why extraction failed (diagnostic)
+};
+
+ExtractResult extract(const ir::FilterSpec& spec);
+
+// True if the work function assigns any declared state variable (scalar or
+// array element).  Independent of linearity: a filter can be nonlinear yet
+// stateless (e.g. a squarer).
+bool writes_state(const ir::FilterSpec& spec);
+
+}  // namespace sit::linear

@@ -1,0 +1,52 @@
+#pragma once
+// Minimal dense matrix used by the linear representations.  Row-major,
+// double precision; only the operations the linear algebra of the paper
+// needs (no BLAS-scale ambitions -- matrices here are peek x push sized).
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace sit::linear {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::size_t nonzeros() const {
+    std::size_t n = 0;
+    for (double v : data_) {
+      if (v != 0.0) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("matrix index");
+  }
+
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+}  // namespace sit::linear

@@ -1,0 +1,49 @@
+#pragma once
+// Optimization selection: decide, over the stream hierarchy, where to apply
+// linear combination and frequency translation (the paper's selection
+// algorithm).  Pipelines are searched with an interval dynamic program
+// (every contiguous run of linear stages is a collapse candidate);
+// split-joins with all-linear branches are collapse candidates as a whole;
+// every linear candidate is additionally considered in the frequency domain.
+// A candidate is chosen iff it lowers the modeled cost per input item.
+
+#include <optional>
+#include <string>
+
+#include "ir/graph.h"
+#include "linear/linear_rep.h"
+
+namespace sit::linear {
+
+struct OptimizeOptions {
+  bool enable_combination{true};
+  bool enable_frequency{true};
+  // Weight of splitter/joiner item movement relative to a flop.  Small and
+  // nonzero: it breaks ties in favor of fewer actors, mirroring the paper's
+  // observation that collapsing also removes synchronization.
+  double sync_weight{0.05};
+  // Skip combination candidates whose matrix would exceed this entry count
+  // (guards against lcm blow-up on wildly mismatched rates).
+  std::size_t max_matrix_entries{1u << 22};
+};
+
+struct OptimizeStats {
+  int total_filters{0};
+  int linear_filters{0};
+  int combinations{0};       // collapse rewrites applied
+  int frequency_nodes{0};    // frequency translations applied
+  double cost_before{0.0};   // modeled flops per input item
+  double cost_after{0.0};
+  std::string log;
+};
+
+// Returns the rewritten graph (a fresh tree; the input is not mutated).
+ir::NodeP optimize(const ir::NodeP& root, const OptimizeOptions& opts = {},
+                   OptimizeStats* stats = nullptr);
+
+// Extraction over a whole subtree: the linear rep of the subtree's stream
+// function if every leaf is linear and the structure is combinable.
+std::optional<LinearRep> extract_tree(const ir::NodeP& node,
+                                      const OptimizeOptions& opts = {});
+
+}  // namespace sit::linear

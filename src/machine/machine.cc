@@ -1,0 +1,215 @@
+#include "machine/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace sit::machine {
+
+std::vector<int> MachineConfig::route(int a, int b) const {
+  // Dimension-ordered: X first, then Y.  Directions: 0=E (+x), 1=W, 2=N (+y
+  // toward higher rows), 3=S.
+  std::vector<int> links;
+  int x = x_of(a), y = y_of(a);
+  const int tx = x_of(b), ty = y_of(b);
+  while (x != tx) {
+    const int dir = tx > x ? 0 : 1;
+    links.push_back((y * grid_w + x) * 4 + dir);
+    x += tx > x ? 1 : -1;
+  }
+  while (y != ty) {
+    const int dir = ty > y ? 2 : 3;
+    links.push_back((y * grid_w + x) * 4 + dir);
+    y += ty > y ? 1 : -1;
+  }
+  return links;
+}
+
+namespace {
+
+struct Loads {
+  std::vector<double> core;   // occupancy per core (compute + send + recv)
+  std::vector<double> link;   // items per link
+  double compute{0};
+  double comm{0};
+  double flops{0};
+};
+
+Loads accumulate(const MachineConfig& cfg, const std::vector<PlacedActor>& actors,
+                 const std::vector<PlacedEdge>& edges) {
+  Loads L;
+  L.core.assign(static_cast<std::size_t>(cfg.cores()), 0.0);
+  L.link.assign(static_cast<std::size_t>(cfg.num_links()), 0.0);
+  for (const auto& a : actors) {
+    if (a.core < 0 || a.core >= cfg.cores()) {
+      throw std::invalid_argument("actor '" + a.name + "' placed off-chip");
+    }
+    L.core[static_cast<std::size_t>(a.core)] += a.compute_cycles;
+    L.compute += a.compute_cycles;
+    L.flops += a.flops;
+  }
+  for (const auto& e : edges) {
+    if (e.src_actor < 0 || e.dst_actor < 0) continue;  // external I/O: free
+    const int cs = actors[static_cast<std::size_t>(e.src_actor)].core;
+    const int cd = actors[static_cast<std::size_t>(e.dst_actor)].core;
+    if (cs == cd) continue;  // same-core channels live in local memory
+    const double send = e.items * cfg.send_cost;
+    const double recv = e.items * cfg.recv_cost;
+    L.core[static_cast<std::size_t>(cs)] += send;
+    L.core[static_cast<std::size_t>(cd)] += recv;
+    L.comm += send + recv;
+    for (int link : cfg.route(cs, cd)) {
+      L.link[static_cast<std::size_t>(link)] += e.items;
+    }
+  }
+  return L;
+}
+
+SimResult finish(const MachineConfig& cfg, const Loads& L, double cycles) {
+  SimResult r;
+  r.cycles_per_steady = cycles;
+  r.compute_cycles = L.compute;
+  r.comm_cycles = L.comm;
+  r.utilization = cycles > 0
+                      ? L.compute / (static_cast<double>(cfg.cores()) * cycles)
+                      : 0.0;
+  r.mflops = cycles > 0 ? L.flops * cfg.clock_mhz / cycles : 0.0;
+  double worst_core = 0.0;
+  for (std::size_t i = 0; i < L.core.size(); ++i) {
+    if (L.core[i] > worst_core) {
+      worst_core = L.core[i];
+      r.bottleneck_core = static_cast<int>(i);
+    }
+  }
+  for (double l : L.link) {
+    r.bottleneck_link_cycles = std::max(r.bottleneck_link_cycles, l / cfg.link_bw);
+  }
+  return r;
+}
+
+double pipelined_cycles(const MachineConfig& cfg, const Loads& L) {
+  double t = 0.0;
+  for (double c : L.core) t = std::max(t, c);
+  for (double l : L.link) t = std::max(t, l / cfg.link_bw);
+  return t;
+}
+
+// List scheduling of one steady state respecting dependences: each actor is
+// one task pinned to its core; a task may start once all its producers have
+// finished and their data has crossed the network.
+double dataflow_cycles(const MachineConfig& cfg,
+                       const std::vector<PlacedActor>& actors,
+                       const std::vector<PlacedEdge>& edges) {
+  const std::size_t n = actors.size();
+  std::vector<std::vector<std::size_t>> preds(n), succs(n);
+  std::vector<int> indeg(n, 0);
+  for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+    const auto& e = edges[ei];
+    if (e.src_actor < 0 || e.dst_actor < 0 || e.back_edge) continue;
+    preds[static_cast<std::size_t>(e.dst_actor)].push_back(ei);
+    succs[static_cast<std::size_t>(e.src_actor)].push_back(ei);
+    ++indeg[static_cast<std::size_t>(e.dst_actor)];
+  }
+
+  std::vector<double> core_free(static_cast<std::size_t>(cfg.cores()), 0.0);
+  std::vector<double> finish_at(n, 0.0);
+  std::vector<double> ready_at(n, 0.0);
+  std::vector<bool> done(n, false);
+
+  // Priority: critical-path-ish -- longest downstream compute first.
+  std::vector<double> rank(n, 0.0);
+  {
+    // Reverse topological accumulation.
+    std::vector<int> order;
+    std::vector<int> deg = indeg;
+    std::queue<std::size_t> q;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (deg[i] == 0) q.push(i);
+    }
+    while (!q.empty()) {
+      const std::size_t a = q.front();
+      q.pop();
+      order.push_back(static_cast<int>(a));
+      for (std::size_t ei : succs[a]) {
+        const auto d = static_cast<std::size_t>(edges[ei].dst_actor);
+        if (--deg[d] == 0) q.push(d);
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const auto a = static_cast<std::size_t>(*it);
+      double best = 0.0;
+      for (std::size_t ei : succs[a]) {
+        best = std::max(best, rank[static_cast<std::size_t>(edges[ei].dst_actor)]);
+      }
+      rank[a] = actors[a].compute_cycles + best;
+    }
+  }
+
+  std::vector<int> remaining(n, 0);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = indeg[i];
+
+  std::size_t scheduled = 0;
+  while (scheduled < n) {
+    // Pick the ready task with the highest rank.
+    std::size_t pick = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i] || remaining[i] > 0) continue;
+      if (pick == n || rank[i] > rank[pick]) pick = i;
+    }
+    if (pick == n) throw std::runtime_error("dependence cycle in dataflow sim");
+
+    const auto core = static_cast<std::size_t>(actors[pick].core);
+    // Data arrival: producers' finish + network latency + transfer occupancy.
+    double arrive = ready_at[pick];
+    for (std::size_t ei : preds[pick]) {
+      const auto& e = edges[ei];
+      const auto src = static_cast<std::size_t>(e.src_actor);
+      const int cs = actors[src].core;
+      const int cd = actors[pick].core;
+      double t = finish_at[src];
+      if (cs != cd) {
+        t += static_cast<double>(cfg.hops(cs, cd)) * cfg.hop_latency +
+             e.items * (cfg.send_cost + cfg.recv_cost);
+      }
+      arrive = std::max(arrive, t);
+    }
+    const double start = std::max(arrive, core_free[core]);
+    const double fin = start + actors[pick].compute_cycles;
+    finish_at[pick] = fin;
+    core_free[core] = fin;
+    done[pick] = true;
+    ++scheduled;
+    for (std::size_t ei : succs[pick]) {
+      --remaining[static_cast<std::size_t>(edges[ei].dst_actor)];
+    }
+  }
+
+  double makespan = 0.0;
+  for (double f : finish_at) makespan = std::max(makespan, f);
+  return makespan;
+}
+
+}  // namespace
+
+SimResult simulate(const MachineConfig& cfg, const std::vector<PlacedActor>& actors,
+                   const std::vector<PlacedEdge>& edges, ExecMode mode) {
+  const Loads L = accumulate(cfg, actors, edges);
+  double cycles = 0.0;
+  if (mode == ExecMode::Pipelined) {
+    cycles = pipelined_cycles(cfg, L);
+  } else {
+    cycles = std::max(dataflow_cycles(cfg, actors, edges), pipelined_cycles(cfg, L));
+  }
+  return finish(cfg, L, cycles);
+}
+
+std::string SimResult::describe() const {
+  std::ostringstream os;
+  os << "cycles/steady=" << cycles_per_steady << " util=" << utilization
+     << " mflops=" << mflops << " (bottleneck core " << bottleneck_core << ")";
+  return os.str();
+}
+
+}  // namespace sit::machine

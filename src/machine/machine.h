@@ -1,0 +1,83 @@
+#pragma once
+// The modeled machine: a Raw-like grid of single-issue, in-order cores with
+// a nearest-neighbor mesh network (the paper's 16-core, 4x4 target).
+//
+// This repository substitutes a deterministic performance model for the
+// actual Raw hardware (see DESIGN.md): compute cost comes from the
+// interpreter's cycle-weighted operation counts, communication cost from a
+// per-item occupancy on the sending and receiving cores plus per-link
+// bandwidth along dimension-ordered (XY) routes.  Absolute cycle counts are
+// not the point -- relative throughput between mapping strategies is.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sit::machine {
+
+struct MachineConfig {
+  int grid_w{4};
+  int grid_h{4};
+  double clock_mhz{450.0};      // peak 16 cores * 450 MHz * 1 flop = 7200 MFLOPS
+  double flops_per_cycle{1.0};  // single-issue core
+  double send_cost{1.0};        // cycles of core occupancy per item sent
+  double recv_cost{1.0};        // cycles of core occupancy per item received
+  double hop_latency{3.0};      // cycles of latency per mesh hop
+  double link_bw{1.0};          // items per cycle per mesh link
+
+  [[nodiscard]] int cores() const { return grid_w * grid_h; }
+  [[nodiscard]] int x_of(int core) const { return core % grid_w; }
+  [[nodiscard]] int y_of(int core) const { return core / grid_w; }
+  [[nodiscard]] int hops(int a, int b) const {
+    return std::abs(x_of(a) - x_of(b)) + std::abs(y_of(a) - y_of(b));
+  }
+
+  // Directed mesh links along the XY route from core a to core b.
+  // Links are identified by (core, direction) with direction 0..3 = E,W,N,S.
+  [[nodiscard]] std::vector<int> route(int a, int b) const;
+  [[nodiscard]] int num_links() const { return cores() * 4; }
+};
+
+// One actor's placement and per-steady-state resource demands, produced by
+// the mapping strategies in sit::parallel.
+struct PlacedActor {
+  std::string name;
+  int core{0};
+  double compute_cycles{0};  // work per steady state (all firings)
+  double flops{0};           // floating-point ops per steady state
+};
+
+// One edge's per-steady-state traffic.
+struct PlacedEdge {
+  int src_actor{-1};  // index into the placed-actor vector; -1 = external
+  int dst_actor{-1};
+  double items{0};
+  bool back_edge{false};
+};
+
+struct SimResult {
+  double cycles_per_steady{0};
+  double compute_cycles{0};     // sum of all actor compute
+  double comm_cycles{0};        // total send+recv occupancy
+  double utilization{0};        // compute / (cores * cycles)
+  double mflops{0};
+  int bottleneck_core{-1};
+  double bottleneck_link_cycles{0};
+  std::string describe() const;
+};
+
+enum class ExecMode {
+  // Coarse-grained software pipelining / space multiplexing: successive
+  // steady states overlap, so throughput is limited by the most loaded
+  // resource (core occupancy or mesh link), not by dependences.
+  Pipelined,
+  // Fork/join execution: one steady state at a time; actors respect data
+  // dependences; makespan via list scheduling on the placed cores.
+  DataFlow,
+};
+
+// Simulate one steady state of a placed graph.
+SimResult simulate(const MachineConfig& cfg, const std::vector<PlacedActor>& actors,
+                   const std::vector<PlacedEdge>& edges, ExecMode mode);
+
+}  // namespace sit::machine

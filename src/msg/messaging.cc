@@ -1,0 +1,219 @@
+#include "msg/messaging.h"
+
+#include <stdexcept>
+
+#include "runtime/interp.h"
+
+namespace sit::msg {
+
+using runtime::FlatActor;
+
+namespace {
+
+// Collect (portal, min latency) for every Send statement in a work AST.
+void collect_sends(const ir::StmtP& s,
+                   std::vector<std::pair<std::string, int>>& out) {
+  if (!s) return;
+  if (s->kind == ir::Stmt::Kind::Send) {
+    out.emplace_back(s->name, s->latMin);
+  }
+  for (const auto& c : s->stmts) collect_sends(c, out);
+  collect_sends(s->body, out);
+  collect_sends(s->elseBody, out);
+}
+
+}  // namespace
+
+MessagingExecutor::MessagingExecutor(ir::NodeP root) {
+  sched::ExecOptions opts;
+  opts.message_sink = [this](const runtime::SentMessage& m) {
+    if (current_actor_ < 0) return;
+    on_send(current_actor_, m);
+  };
+  ex_ = std::make_unique<sched::Executor>(std::move(root), std::move(opts));
+  sdep_ = std::make_unique<sdep::SdepAnalysis>(ex_->graph());
+}
+
+int MessagingExecutor::actor_by_name(const std::string& name) const {
+  const auto& g = ex_->graph();
+  for (std::size_t i = 0; i < g.actors.size(); ++i) {
+    if (g.actors[i].name == name) return static_cast<int>(i);
+  }
+  throw std::invalid_argument("no actor named '" + name + "'");
+}
+
+void MessagingExecutor::register_receiver(const std::string& portal,
+                                          const std::string& receiver) {
+  const int r = actor_by_name(receiver);
+  const auto& g = ex_->graph();
+  if (g.actors[static_cast<std::size_t>(r)].kind != FlatActor::Kind::Filter) {
+    throw std::invalid_argument("receiver must be an AST filter");
+  }
+  portals_[portal].push_back(r);
+
+  // Every filter whose work function sends to this portal constrains the
+  // receiver's schedule.
+  for (std::size_t a = 0; a < g.actors.size(); ++a) {
+    if (g.actors[a].kind != FlatActor::Kind::Filter) continue;
+    std::vector<std::pair<std::string, int>> sends;
+    collect_sends(g.actors[a].node->filter.work, sends);
+    for (const auto& [pname, lat_min] : sends) {
+      if (pname != portal) continue;
+      Pair p;
+      p.sender = static_cast<int>(a);
+      p.receiver = r;
+      p.min_latency = lat_min;
+      p.portal = portal;
+      if (sdep_->is_upstream_of(p.sender, r)) {
+        p.receiver_downstream = true;
+      } else if (sdep_->is_upstream_of(r, p.sender)) {
+        p.receiver_downstream = false;
+      } else {
+        throw std::invalid_argument(
+            "teleport messaging between parallel actors is out of scope "
+            "(paper section 3): " + g.actors[a].name + " -> " + receiver);
+      }
+      pairs_.push_back(p);
+    }
+  }
+}
+
+void MessagingExecutor::add_latency_constraint(const std::string& upstream,
+                                               const std::string& downstream,
+                                               int latency) {
+  // MAX_LATENCY(a, b, n) == a message from b to upstream a with latency n.
+  Pair p;
+  p.sender = actor_by_name(downstream);
+  p.receiver = actor_by_name(upstream);
+  p.receiver_downstream = false;
+  p.min_latency = latency;
+  if (!sdep_->is_upstream_of(p.receiver, p.sender)) {
+    throw std::invalid_argument("MAX_LATENCY requires a downstream path");
+  }
+  pairs_.push_back(p);
+}
+
+bool MessagingExecutor::constraints_allow(int actor) const {
+  const auto& fired = ex_->firings();
+  const std::int64_t next = fired[static_cast<std::size_t>(actor)] + 1;
+  for (const auto& p : pairs_) {
+    if (p.receiver != actor) continue;
+    const std::int64_t m = fired[static_cast<std::size_t>(p.sender)] + 1;
+    if (p.receiver_downstream) {
+      // Paper eq. (mc2): the receiver may not produce data beyond what the
+      // sender's next possible message could affect.
+      const std::int64_t k =
+          sdep_->max_firings(p.sender, p.receiver, m + p.min_latency - 1) + 1;
+      if (next >= k) return false;
+    } else {
+      // Paper eq. (mc1): an upstream receiver may not run past the last
+      // firing that affects the sender's next possible message.
+      const std::int64_t k = sdep_->sdep(p.receiver, p.sender, m + p.min_latency);
+      if (next > k) return false;
+    }
+  }
+  return true;
+}
+
+void MessagingExecutor::on_send(int sender, const runtime::SentMessage& m) {
+  ++stats_.sent;
+  const std::int64_t n = ex_->firings()[static_cast<std::size_t>(sender)] + 1;
+  auto it = portals_.find(m.portal);
+  if (it == portals_.end()) return;  // unregistered portal: dropped
+  for (int r : it->second) {
+    Pending pm;
+    pm.receiver = r;
+    pm.portal = m.portal;
+    pm.method = m.method;
+    pm.args = m.args;
+    const int lam = m.lat_max;
+    if (sdep_->is_upstream_of(sender, r)) {
+      pm.before = true;
+      pm.firing = sdep_->max_firings(sender, r, n + lam - 1) + 1;
+    } else {
+      pm.before = false;
+      pm.firing = sdep_->sdep(r, sender, n + lam);
+    }
+    pending_.push_back(std::move(pm));
+  }
+}
+
+void MessagingExecutor::deliver_due_before(int actor) {
+  const auto& g = ex_->graph();
+  const std::int64_t next =
+      ex_->firings()[static_cast<std::size_t>(actor)] + 1;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->receiver == actor && it->before && it->firing <= next) {
+      const auto& spec = g.actors[static_cast<std::size_t>(actor)].node->filter;
+      runtime::Interp::run_handler(spec, ex_->filter_state(actor), it->method,
+                                   it->args);
+      ++stats_.delivered;
+      stats_.deliveries.push_back(
+          {it->portal, it->method, g.actors[static_cast<std::size_t>(actor)].name,
+           it->firing, true});
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MessagingExecutor::deliver_due_after(int actor) {
+  const auto& g = ex_->graph();
+  const std::int64_t done = ex_->firings()[static_cast<std::size_t>(actor)];
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->receiver == actor && !it->before && it->firing <= done) {
+      const auto& spec = g.actors[static_cast<std::size_t>(actor)].node->filter;
+      runtime::Interp::run_handler(spec, ex_->filter_state(actor), it->method,
+                                   it->args);
+      ++stats_.delivered;
+      stats_.deliveries.push_back(
+          {it->portal, it->method, g.actors[static_cast<std::size_t>(actor)].name,
+           it->firing, false});
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<double> MessagingExecutor::run_steady(int n) {
+  ex_->run_init();
+  const auto& sched = ex_->schedule();
+  std::vector<double> out;
+  for (int ss = 0; ss < n; ++ss) {
+    std::vector<std::int64_t> quota = sched.reps;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int a : sched.order) {
+        const auto ai = static_cast<std::size_t>(a);
+        while (quota[ai] > 0 && ex_->can_fire(a)) {
+          if (!constraints_allow(a)) {
+            ++stats_.constraint_stalls;
+            break;
+          }
+          deliver_due_before(a);
+          current_actor_ = a;
+          ex_->fire(a);
+          current_actor_ = -1;
+          deliver_due_after(a);
+          --quota[ai];
+          progress = true;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < quota.size(); ++i) {
+      if (quota[i] > 0) {
+        throw std::runtime_error(
+            "messaging constraints are unsatisfiable: actor '" +
+            ex_->graph().actors[i].name + "' cannot complete the steady state");
+      }
+    }
+    const auto got = ex_->take_output();
+    out.insert(out.end(), got.begin(), got.end());
+  }
+  return out;
+}
+
+}  // namespace sit::msg

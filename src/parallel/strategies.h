@@ -1,0 +1,70 @@
+#pragma once
+// Mapping strategies (the paper's evaluation matrix):
+//
+//   SingleCore      -- everything on one core; the normalization baseline.
+//   TaskParallel    -- no transformation; fork/join execution where only
+//                      split-join siblings overlap (the paper's baseline).
+//   FineGrainedData -- naive per-filter 16-way fission (cautionary figure).
+//   TaskData        -- coarse-grained data parallelism (coarsen + fiss).
+//   TaskSwp         -- selective fusion + software-pipelined execution.
+//   TaskDataSwp     -- data parallelism, then software pipelining (combined).
+//   SpaceMultiplex  -- prior-work baseline: fuse to <= #cores filters, one
+//                      filter per tile, pipeline-parallel execution.
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "machine/machine.h"
+
+namespace sit::parallel {
+
+enum class Strategy {
+  SingleCore,
+  TaskParallel,
+  FineGrainedData,
+  TaskData,
+  TaskSwp,
+  TaskDataSwp,
+  SpaceMultiplex,
+};
+
+const char* to_string(Strategy s);
+
+struct StrategyResult {
+  Strategy strategy{};
+  machine::SimResult sim;
+  double speedup_vs_single{1.0};
+  int actors{0};           // actors after transformation
+  ir::NodeP transformed;   // graph that was mapped
+};
+
+// A placed program ready for machine simulation.
+struct Placement {
+  std::vector<machine::PlacedActor> actors;
+  std::vector<machine::PlacedEdge> edges;
+};
+
+// Build placement inputs from a graph: per-actor steady-state compute from
+// the interpreter-based estimates, per-edge steady-state traffic from the
+// schedule.  Cores are all 0; the strategy assigns them afterwards.
+Placement build_placement(const ir::NodeP& root);
+
+// Load-balance actors onto cores (longest-processing-time greedy).
+void place_lpt(Placement& p, const machine::MachineConfig& cfg);
+
+// One actor per core along a grid snake, in topological order (the space-
+// multiplexed layout).  Requires actors <= cores.
+void place_one_per_core(Placement& p, const machine::MachineConfig& cfg);
+
+// Run one strategy end to end.  `single_core_cycles` of the untransformed
+// app is computed internally for the speedup figure.
+StrategyResult run_strategy(const ir::NodeP& app, Strategy s,
+                            const machine::MachineConfig& cfg);
+
+// Convenience: run a list of strategies.
+std::vector<StrategyResult> run_strategies(const ir::NodeP& app,
+                                           const std::vector<Strategy>& list,
+                                           const machine::MachineConfig& cfg);
+
+}  // namespace sit::parallel

@@ -1,0 +1,65 @@
+#pragma once
+// FIFO channels ("tapes").
+//
+// A channel is the paper's data tape: filters push to the front and pop from
+// the end, and may peek at not-yet-popped items.  The channel additionally
+// remembers the *cumulative* number of items ever pushed and popped -- n(t)
+// and p(t) in the paper's operational semantics -- which the sdep/messaging
+// machinery reads to decide message delivery points.
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "ir/filter.h"
+
+namespace sit::runtime {
+
+class Channel final : public ir::InTape, public ir::OutTape {
+ public:
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+
+  void push_item(double v) override {
+    buf_.push_back(v);
+    ++total_pushed_;
+  }
+
+  double pop_item() override {
+    if (buf_.empty()) throw std::runtime_error("pop from empty channel");
+    const double v = buf_.front();
+    buf_.pop_front();
+    ++total_popped_;
+    return v;
+  }
+
+  double peek_item(int offset) override {
+    if (offset < 0 || static_cast<std::size_t>(offset) >= buf_.size()) {
+      throw std::runtime_error("peek(" + std::to_string(offset) +
+                               ") beyond channel contents (" +
+                               std::to_string(buf_.size()) + ")");
+    }
+    return buf_[static_cast<std::size_t>(offset)];
+  }
+
+  void push_many(const std::vector<double>& vs) {
+    for (double v : vs) push_item(v);
+  }
+
+  // Cumulative counters: n(t) = items ever pushed, p(t) = items ever popped.
+  [[nodiscard]] std::int64_t total_pushed() const { return total_pushed_; }
+  [[nodiscard]] std::int64_t total_popped() const { return total_popped_; }
+
+  // High-water mark of live items, for buffer-requirement reporting.
+  void note_high_water() { high_water_ = std::max(high_water_, buf_.size()); }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+ private:
+  std::deque<double> buf_;
+  std::int64_t total_pushed_{0};
+  std::int64_t total_popped_{0};
+  std::size_t high_water_{0};
+};
+
+}  // namespace sit::runtime

@@ -1,0 +1,232 @@
+#include "sched/exec.h"
+
+#include <stdexcept>
+
+#include "ir/validate.h"
+
+namespace sit::sched {
+
+using runtime::Channel;
+using runtime::FlatActor;
+using runtime::Interp;
+
+namespace {
+
+// Tape stubs for boundary filters (pure sources/sinks have no edge).
+class NullIn final : public ir::InTape {
+ public:
+  double peek_item(int) override {
+    throw std::runtime_error("source filter attempted to peek");
+  }
+  double pop_item() override {
+    throw std::runtime_error("source filter attempted to pop");
+  }
+};
+
+class NullOut final : public ir::OutTape {
+ public:
+  void push_item(double) override {
+    throw std::runtime_error("sink filter attempted to push");
+  }
+};
+
+NullIn g_null_in;
+NullOut g_null_out;
+
+}  // namespace
+
+Executor::Executor(ir::NodeP root, ExecOptions opts)
+    : root_(std::move(root)), opts_(std::move(opts)) {
+  ir::check_or_throw(root_);
+  g_ = runtime::flatten(root_);
+  sched_ = make_schedule(g_);
+
+  chans_.reserve(g_.edges.size());
+  for (const auto& e : g_.edges) {
+    auto ch = std::make_unique<Channel>();
+    ch->push_many(e.initial_items);
+    chans_.push_back(std::move(ch));
+  }
+
+  const std::size_t n = g_.actors.size();
+  fstate_.resize(n);
+  nstate_.resize(n);
+  ops_.resize(n);
+  fired_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlatActor& a = g_.actors[i];
+    if (a.kind == FlatActor::Kind::Filter) {
+      fstate_[i] = Interp::init_state(a.node->filter);
+    } else if (a.kind == FlatActor::Kind::Native) {
+      if (a.node->native.make_state) nstate_[i] = a.node->native.make_state();
+    }
+  }
+}
+
+void Executor::feed_input(const std::vector<double>& items) {
+  if (g_.input_edge < 0) {
+    throw std::runtime_error("program has no external input");
+  }
+  chans_[static_cast<std::size_t>(g_.input_edge)]->push_many(items);
+  input_fed_ += static_cast<std::int64_t>(items.size());
+}
+
+void Executor::set_input_generator(std::function<double(std::int64_t)> gen) {
+  input_gen_ = std::move(gen);
+}
+
+void Executor::ensure_input_for(std::int64_t items_needed) {
+  if (g_.input_edge < 0 || !input_gen_) return;
+  while (input_fed_ < items_needed) {
+    chans_[static_cast<std::size_t>(g_.input_edge)]->push_item(input_gen_(input_fed_));
+    ++input_fed_;
+  }
+}
+
+bool Executor::can_fire(int actor) const {
+  const FlatActor& a = g_.actors[static_cast<std::size_t>(actor)];
+  for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
+    const int eid = a.in_edges[p];
+    if (eid < 0) continue;
+    std::int64_t want = a.in_rate[p];
+    if (a.is_filter()) want += a.peek_extra;
+    if (static_cast<std::int64_t>(chans_[static_cast<std::size_t>(eid)]->size()) <
+        want) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Executor::fire(int actor) {
+  const auto ai = static_cast<std::size_t>(actor);
+  const FlatActor& a = g_.actors[ai];
+  runtime::OpCounts* counts = opts_.count_ops ? &ops_[ai] : nullptr;
+
+  switch (a.kind) {
+    case FlatActor::Kind::Filter: {
+      ir::InTape* in = &g_null_in;
+      ir::OutTape* out = &g_null_out;
+      if (!a.in_edges.empty() && a.in_edges[0] >= 0) {
+        in = chans_[static_cast<std::size_t>(a.in_edges[0])].get();
+      }
+      if (!a.out_edges.empty() && a.out_edges[0] >= 0) {
+        out = chans_[static_cast<std::size_t>(a.out_edges[0])].get();
+      }
+      Interp::run_work(a.node->filter, fstate_[ai], *in, *out, counts,
+                       opts_.message_sink ? &opts_.message_sink : nullptr);
+      break;
+    }
+    case FlatActor::Kind::Native: {
+      ir::InTape* in = &g_null_in;
+      ir::OutTape* out = &g_null_out;
+      if (!a.in_edges.empty() && a.in_edges[0] >= 0) {
+        in = chans_[static_cast<std::size_t>(a.in_edges[0])].get();
+      }
+      if (!a.out_edges.empty() && a.out_edges[0] >= 0) {
+        out = chans_[static_cast<std::size_t>(a.out_edges[0])].get();
+      }
+      a.node->native.work(nstate_[ai].get(), *in, *out);
+      if (counts) {
+        // Native filters declare their per-firing cost statically.
+        counts->flops += static_cast<std::int64_t>(a.node->native.cost_flops);
+        counts->int_ops += static_cast<std::int64_t>(
+            a.node->native.cost_ops - a.node->native.cost_flops);
+        counts->channel += a.pop_rate() + a.push_rate();
+      }
+      break;
+    }
+    case FlatActor::Kind::Splitter: {
+      Channel& in = *chans_[static_cast<std::size_t>(a.in_edges[0])];
+      if (a.sj == ir::SJKind::Duplicate) {
+        const double v = in.pop_item();
+        for (int eid : a.out_edges) {
+          if (eid >= 0) chans_[static_cast<std::size_t>(eid)]->push_item(v);
+        }
+        if (counts) counts->channel += 1 + static_cast<std::int64_t>(a.out_edges.size());
+      } else {
+        for (std::size_t p = 0; p < a.out_rate.size(); ++p) {
+          for (int k = 0; k < a.out_rate[p]; ++k) {
+            const double v = in.pop_item();
+            const int eid = p < a.out_edges.size() ? a.out_edges[p] : -1;
+            if (eid >= 0) chans_[static_cast<std::size_t>(eid)]->push_item(v);
+            if (counts) counts->channel += 2;
+          }
+        }
+      }
+      break;
+    }
+    case FlatActor::Kind::Joiner: {
+      Channel& out = *chans_[static_cast<std::size_t>(a.out_edges[0])];
+      for (std::size_t p = 0; p < a.in_rate.size(); ++p) {
+        for (int k = 0; k < a.in_rate[p]; ++k) {
+          const int eid = p < a.in_edges.size() ? a.in_edges[p] : -1;
+          if (eid < 0) continue;
+          out.push_item(chans_[static_cast<std::size_t>(eid)]->pop_item());
+          if (counts) counts->channel += 2;
+        }
+      }
+      break;
+    }
+  }
+  ++fired_[ai];
+  for (const auto& ch : chans_) ch->note_high_water();
+}
+
+void Executor::run_epoch(const std::vector<std::int64_t>& quota_in) {
+  std::vector<std::int64_t> quota = quota_in;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int actor : sched_.order) {
+      const auto ai = static_cast<std::size_t>(actor);
+      while (quota[ai] > 0 && can_fire(actor)) {
+        fire(actor);
+        --quota[ai];
+        progress = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < quota.size(); ++i) {
+    if (quota[i] > 0) {
+      throw std::runtime_error("runtime deadlock: actor '" + g_.actors[i].name +
+                               "' starved with " + std::to_string(quota[i]) +
+                               " firings remaining");
+    }
+  }
+}
+
+void Executor::run_init() {
+  if (init_done_) return;
+  ensure_input_for(sched_.input_for_init);
+  run_epoch(sched_.init_fires);
+  init_done_ = true;
+}
+
+std::vector<double> Executor::run_steady(int n) {
+  run_init();
+  for (int i = 0; i < n; ++i) {
+    ++steady_run_;
+    ensure_input_for(sched_.input_for_init +
+                     steady_run_ * sched_.input_per_steady);
+    run_epoch(sched_.reps);
+  }
+  return take_output();
+}
+
+std::vector<double> Executor::take_output() {
+  std::vector<double> out;
+  if (g_.output_edge < 0) return out;
+  Channel& ch = *chans_[static_cast<std::size_t>(g_.output_edge)];
+  out.reserve(ch.size());
+  while (!ch.empty()) out.push_back(ch.pop_item());
+  return out;
+}
+
+runtime::OpCounts Executor::total_ops() const {
+  runtime::OpCounts t;
+  for (const auto& o : ops_) t += o;
+  return t;
+}
+
+}  // namespace sit::sched

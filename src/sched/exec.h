@@ -1,0 +1,94 @@
+#pragma once
+// Graph executor.
+//
+// Drives a flattened stream program through its initialization epoch and any
+// number of steady states, firing actors data-driven in topological sweeps
+// (which realizes exactly the operational semantics of the paper: an actor
+// may fire whenever >= peek items are buffered on its input).  The executor
+// also:
+//   * tallies per-actor operation counts (the work estimates used by the
+//     partitioners and the machine model),
+//   * exposes single-actor firing so the messaging module can drive a
+//     *constrained* schedule,
+//   * records cumulative push/pop counters per channel (n(t), p(t)).
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ir/graph.h"
+#include "runtime/channel.h"
+#include "runtime/flatgraph.h"
+#include "runtime/interp.h"
+#include "sched/schedule.h"
+
+namespace sit::sched {
+
+struct ExecOptions {
+  bool count_ops{true};
+  // Receives teleport messages emitted by Send statements; delivery policy is
+  // the msg module's job (the plain executor only forwards).
+  runtime::MessageSink message_sink;
+};
+
+class Executor {
+ public:
+  explicit Executor(ir::NodeP root, ExecOptions opts = {});
+
+  [[nodiscard]] const runtime::FlatGraph& graph() const { return g_; }
+  [[nodiscard]] const Schedule& schedule() const { return sched_; }
+
+  // External input: either an explicit item feed or a generator the executor
+  // pulls from on demand (index = item position in the input stream).
+  void feed_input(const std::vector<double>& items);
+  void set_input_generator(std::function<double(std::int64_t)> gen);
+
+  // Initialization epoch: runs every filter's init function happened already
+  // (at construction); this executes the init firings that buffer peek
+  // windows and primes feedback loops.  Idempotent.
+  void run_init();
+
+  // Run `n` steady states (running init first if needed); returns the items
+  // pushed to the program output during those steady states.
+  std::vector<double> run_steady(int n);
+
+  // --- fine-grained control (sdep / messaging) -----------------------------
+  [[nodiscard]] bool can_fire(int actor) const;
+  void fire(int actor);
+  [[nodiscard]] const std::vector<std::int64_t>& firings() const { return fired_; }
+  [[nodiscard]] runtime::Channel& channel(int edge_id) {
+    return *chans_[static_cast<std::size_t>(edge_id)];
+  }
+  runtime::FilterState& filter_state(int actor) {
+    return fstate_[static_cast<std::size_t>(actor)];
+  }
+
+  // Drain whatever is on the external output edge.
+  std::vector<double> take_output();
+
+  // --- accounting -----------------------------------------------------------
+  [[nodiscard]] const std::vector<runtime::OpCounts>& actor_ops() const {
+    return ops_;
+  }
+  [[nodiscard]] runtime::OpCounts total_ops() const;
+
+ private:
+  void ensure_input_for(std::int64_t items_needed);
+  void run_epoch(const std::vector<std::int64_t>& quota);
+
+  ir::NodeP root_;
+  ExecOptions opts_;
+  runtime::FlatGraph g_;
+  Schedule sched_;
+  std::vector<std::unique_ptr<runtime::Channel>> chans_;
+  std::vector<runtime::FilterState> fstate_;
+  std::vector<std::unique_ptr<ir::NativeState>> nstate_;
+  std::vector<runtime::OpCounts> ops_;
+  std::vector<std::int64_t> fired_;
+  std::function<double(std::int64_t)> input_gen_;
+  std::int64_t input_fed_{0};
+  std::int64_t steady_run_{0};
+  bool init_done_{false};
+};
+
+}  // namespace sit::sched

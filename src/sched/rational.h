@@ -1,0 +1,80 @@
+#pragma once
+// Exact rational arithmetic for SDF balance equations.
+//
+// Repetition vectors must be exact: rounding a balance solution produces
+// schedules that slowly leak or starve items.  int64 with normalization is
+// ample for the paper's graphs; overflow throws rather than corrupting.
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+namespace sit::sched {
+
+class Rat {
+ public:
+  Rat() = default;
+  Rat(std::int64_t n) : n_(n), d_(1) {}  // NOLINT(google-explicit-constructor)
+  Rat(std::int64_t n, std::int64_t d) : n_(n), d_(d) {
+    if (d_ == 0) throw std::invalid_argument("rational with zero denominator");
+    normalize();
+  }
+
+  [[nodiscard]] std::int64_t num() const { return n_; }
+  [[nodiscard]] std::int64_t den() const { return d_; }
+
+  [[nodiscard]] Rat operator*(const Rat& o) const {
+    return Rat(checked_mul(n_, o.n_), checked_mul(d_, o.d_));
+  }
+  [[nodiscard]] Rat operator/(const Rat& o) const {
+    if (o.n_ == 0) throw std::domain_error("rational division by zero");
+    return Rat(checked_mul(n_, o.d_), checked_mul(d_, o.n_));
+  }
+  [[nodiscard]] Rat operator+(const Rat& o) const {
+    return Rat(checked_add(checked_mul(n_, o.d_), checked_mul(o.n_, d_)),
+               checked_mul(d_, o.d_));
+  }
+  [[nodiscard]] Rat operator-(const Rat& o) const {
+    return *this + Rat(-o.n_, o.d_);
+  }
+  [[nodiscard]] bool operator==(const Rat& o) const {
+    return n_ == o.n_ && d_ == o.d_;
+  }
+  [[nodiscard]] bool operator!=(const Rat& o) const { return !(*this == o); }
+
+  [[nodiscard]] bool is_integer() const { return d_ == 1; }
+
+ private:
+  void normalize() {
+    if (d_ < 0) {
+      n_ = -n_;
+      d_ = -d_;
+    }
+    const std::int64_t g = std::gcd(n_ < 0 ? -n_ : n_, d_);
+    if (g > 1) {
+      n_ /= g;
+      d_ /= g;
+    }
+    if (n_ == 0) d_ = 1;
+  }
+
+  static std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+    std::int64_t r{};
+    if (__builtin_mul_overflow(a, b, &r)) {
+      throw std::overflow_error("rational overflow in multiply");
+    }
+    return r;
+  }
+  static std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+    std::int64_t r{};
+    if (__builtin_add_overflow(a, b, &r)) {
+      throw std::overflow_error("rational overflow in add");
+    }
+    return r;
+  }
+
+  std::int64_t n_{0};
+  std::int64_t d_{1};
+};
+
+}  // namespace sit::sched

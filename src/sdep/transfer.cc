@@ -1,0 +1,121 @@
+#include "sdep/transfer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sdep/sdep.h"
+
+namespace sit::sdep {
+
+TapeFn compose_max(TapeFn upstream, TapeFn downstream) {
+  return [up = std::move(upstream), down = std::move(downstream)](std::int64_t x) {
+    return down(up(x));
+  };
+}
+
+TapeFn compose_min(TapeFn upstream, TapeFn downstream) {
+  // Reversed order: given x items on the far output, the near-side demand is
+  // up(down(x)) (paper eq. 2, second line).
+  return [up = std::move(upstream), down = std::move(downstream)](std::int64_t x) {
+    return up(down(x));
+  };
+}
+
+TapeFn filter_max_fn(int peek, int pop, int push) {
+  return [=](std::int64_t x) { return filter_max_transfer(peek, pop, push, x); };
+}
+
+TapeFn filter_min_fn(int peek, int pop, int push) {
+  return [=](std::int64_t x) { return filter_min_transfer(peek, pop, push, x); };
+}
+
+std::int64_t rr_split_max(int port, std::int64_t x) {
+  if (x <= 0) return 0;
+  return port == 0 ? (x + 1) / 2 : x / 2;
+}
+
+std::int64_t rr_split_min(std::int64_t x1, std::int64_t x2) {
+  // Erratum fix: both outputs' demands must be satisfied simultaneously, so
+  // the input requirement is the max (the paper's draft wrote MIN).
+  const std::int64_t need1 = x1 > 0 ? 2 * x1 - 1 : 0;
+  const std::int64_t need2 = 2 * x2;
+  return std::max(need1, need2);
+}
+
+std::int64_t rr_join_min(int port, std::int64_t x) {
+  if (x <= 0) return 0;
+  return port == 0 ? (x + 1) / 2 : x / 2;
+}
+
+std::int64_t rr_join_max(std::int64_t x1, std::int64_t x2) {
+  // Output n requires ceil(n/2) items on I1 and floor(n/2) on I2; the
+  // largest feasible n is min(2*x1, 2*x2 + 1) (erratum fix: the paper's
+  // min(2*x1 - 1, 2*x2) cannot emit the first item from I1 alone).
+  return std::min(2 * x1, 2 * x2 + 1);
+}
+
+std::int64_t dup_split_max(std::int64_t x) { return x; }
+
+std::int64_t dup_split_min(std::int64_t x1, std::int64_t x2) {
+  return std::max(x1, x2);
+}
+
+std::int64_t combine_join_max(std::int64_t x1, std::int64_t x2) {
+  return std::min(x1, x2);
+}
+
+std::int64_t combine_join_min(std::int64_t x) { return x; }
+
+std::int64_t fb_join_min_loop(std::int64_t x, int n) {
+  return std::max<std::int64_t>(0, rr_join_min(1, x) - n);
+}
+
+std::int64_t fb_join_max(std::int64_t x1, std::int64_t x2, int n) {
+  return rr_join_max(x1, x2 + n);
+}
+
+std::int64_t wrr_split_max(const std::vector<int>& weights, int port,
+                           std::int64_t x) {
+  std::int64_t total = 0;
+  for (int w : weights) total += w;
+  if (total == 0 || x <= 0) return 0;
+  const std::int64_t cycles = x / total;
+  std::int64_t rem = x % total;
+  std::int64_t out = cycles * weights[static_cast<std::size_t>(port)];
+  for (int p = 0; p <= port && rem > 0; ++p) {
+    const std::int64_t take =
+        std::min<std::int64_t>(rem, weights[static_cast<std::size_t>(p)]);
+    if (p == port) out += take;
+    rem -= take;
+  }
+  return out;
+}
+
+std::int64_t wrr_join_max(const std::vector<int>& weights,
+                          const std::vector<std::int64_t>& xs) {
+  // Advance whole cycles while every input can cover its weight, then take
+  // the partial prefix of the next cycle.
+  std::int64_t cycles = -1;
+  for (std::size_t p = 0; p < weights.size(); ++p) {
+    if (weights[p] == 0) continue;
+    const std::int64_t c = xs[p] / weights[p];
+    cycles = cycles < 0 ? c : std::min(cycles, c);
+  }
+  if (cycles < 0) return 0;
+  std::int64_t total = 0;
+  for (int w : weights) total += w;
+  std::int64_t out = cycles * total;
+  // Partial cycle: inputs are drained in port order.
+  for (std::size_t p = 0; p < weights.size(); ++p) {
+    const std::int64_t left = xs[p] - cycles * weights[p];
+    if (left >= weights[p]) {
+      out += weights[p];
+    } else {
+      out += left;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sit::sdep

@@ -1,0 +1,69 @@
+#pragma once
+// Closed-form tape-level transfer functions (the paper's "Information Flow"
+// section): for each construct, max_{a->b}(x) = the most items that can
+// appear on tape b given x items on tape a, and min_{a->b}(x) = the fewest
+// items that must appear on a for x items to appear on b.  Filters'
+// closed forms live in sdep.h; this header adds the splitter/joiner and
+// feedback forms and the composition laws (paper eq. 2):
+//
+//     max_{x->z} = max_{y->z} o max_{x->y}
+//     min_{x->z} = min_{x->y} o min_{y->z}
+//
+// Two errata in the paper's draft formulas are corrected here (each is
+// verified against exhaustive routing simulation in the tests):
+//  * round-robin splitter: min_{I->(O1,O2)}(x1,x2) must be the MAX of the
+//    per-output requirements, max(2*x1 - 1, 2*x2), not their MIN -- both
+//    outputs' demands must be met simultaneously;
+//  * round-robin joiner: max_{(I1,I2)->O}(x1,x2) = min(2*x1, 2*x2 + 1):
+//    with x1 = 1, x2 = 0 the joiner can already emit one item, which the
+//    paper's expression min(2*x1 - 1, 2*x2) = 0 misses.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sit::sdep {
+
+using TapeFn = std::function<std::int64_t(std::int64_t)>;
+
+// Composition along a pipeline (paper eq. 2).
+TapeFn compose_max(TapeFn upstream, TapeFn downstream);
+TapeFn compose_min(TapeFn upstream, TapeFn downstream);
+
+// Filter closed forms as composable functions.
+TapeFn filter_max_fn(int peek, int pop, int push);
+TapeFn filter_min_fn(int peek, int pop, int push);
+
+// ---- two-way round-robin splitter (weights 1,1; first item to O1) ------------
+std::int64_t rr_split_max(int port, std::int64_t x);              // port 0 or 1
+std::int64_t rr_split_min(std::int64_t x1, std::int64_t x2);      // joint demand
+
+// ---- two-way round-robin joiner (first item from I1) --------------------------
+std::int64_t rr_join_min(int port, std::int64_t x);               // per input
+std::int64_t rr_join_max(std::int64_t x1, std::int64_t x2);       // joint supply
+
+// ---- duplicate splitter ---------------------------------------------------------
+std::int64_t dup_split_max(std::int64_t x);                       // identity
+std::int64_t dup_split_min(std::int64_t x1, std::int64_t x2);     // max demand
+
+// ---- combine joiner (dual of duplicate) -------------------------------------------
+std::int64_t combine_join_max(std::int64_t x1, std::int64_t x2);  // min supply
+std::int64_t combine_join_min(std::int64_t x);                    // identity
+
+// ---- feedback joiner --------------------------------------------------------------
+// With n initial items fabricated on the loop input, the loop-side transfer
+// functions shift by n (paper: min is offset by -n, max sees x2 + n).
+std::int64_t fb_join_min_loop(std::int64_t x, int n);
+std::int64_t fb_join_max(std::int64_t x1, std::int64_t x2, int n);
+
+// ---- weighted generalizations (used by the analyses; the paper defers these) -------
+// k-way weighted round-robin splitter: items on output port p after x input
+// items have been routed.
+std::int64_t wrr_split_max(const std::vector<int>& weights, int port,
+                           std::int64_t x);
+// k-way weighted round-robin joiner: output items producible from the given
+// per-input counts.
+std::int64_t wrr_join_max(const std::vector<int>& weights,
+                          const std::vector<std::int64_t>& xs);
+
+}  // namespace sit::sdep

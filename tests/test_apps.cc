@@ -1,0 +1,134 @@
+// Benchmark-suite sanity: every application validates, schedules, executes
+// deterministically, and has the structural characteristics the paper's
+// benchmark table describes (statefulness, peeking, linearity).
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "ir/validate.h"
+#include "linear/extract.h"
+#include "linear/optimize.h"
+#include "parallel/transforms.h"
+#include "sched/exec.h"
+
+namespace sit::apps {
+namespace {
+
+class AppP : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AppP, ValidatesAndExecutes) {
+  const ir::NodeP app = make_app(GetParam());
+  EXPECT_TRUE(ir::check(app).empty());
+  sched::Executor ex(app);
+  const auto& s = ex.schedule();
+  // Closed programs: no external input required, no external output produced.
+  EXPECT_EQ(s.input_per_steady, 0);
+  EXPECT_EQ(s.output_per_steady, 0);
+  EXPECT_NO_THROW(ex.run_steady(2));
+  EXPECT_GT(ex.total_ops().weighted(), 0.0);
+}
+
+TEST_P(AppP, ExecutionIsDeterministic) {
+  const std::string name = GetParam();
+  sched::Executor a(make_app(name));
+  sched::Executor b(make_app(name));
+  a.run_steady(2);
+  b.run_steady(2);
+  EXPECT_DOUBLE_EQ(a.total_ops().weighted(), b.total_ops().weighted());
+  EXPECT_EQ(a.total_ops().flops, b.total_ops().flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AppP,
+    ::testing::Values("BitonicSort", "ChannelVocoder", "DCT", "DES", "FFT",
+                      "FilterBank", "FMRadio", "Serpent", "TDE", "MPEG2Decoder",
+                      "Vocoder", "Radar", "FIR", "RateConvert", "TargetDetect",
+                      "Oversampler", "DtoA"));
+
+TEST(AppRegistry, TwelveParallelBenchmarks) {
+  int parallel = 0, linear = 0;
+  for (const auto& a : all_apps()) {
+    if (a.parallel_suite) ++parallel;
+    if (a.linear_suite) ++linear;
+  }
+  EXPECT_EQ(parallel, 12);
+  EXPECT_GE(linear, 8);
+  EXPECT_THROW(make_app("nope"), std::out_of_range);
+}
+
+TEST(AppCharacter, StatefulnessMatchesPaperTable) {
+  // The paper's table: Vocoder, Radar and MPEG2Decoder carry stateful work;
+  // the stateless six (BitonicSort, DCT, DES, FFT, Serpent, TDE...) do not
+  // (beyond their I/O endpoints).
+  auto stateful_interior = [](const char* name) {
+    const ir::NodeP app = make_app(name);
+    bool any = false;
+    ir::visit(app, [&](const ir::NodeP& n) {
+      if (!n->is_leaf()) return;
+      if (n->name == "src" || n->name.rfind("snk", 0) == 0) return;
+      if (parallel::leaf_stateful(*n)) any = true;
+    });
+    return any;
+  };
+  EXPECT_TRUE(stateful_interior("Vocoder"));
+  EXPECT_TRUE(stateful_interior("Radar"));
+  EXPECT_TRUE(stateful_interior("MPEG2Decoder"));
+  EXPECT_FALSE(stateful_interior("DCT"));
+  EXPECT_FALSE(stateful_interior("DES"));
+  EXPECT_FALSE(stateful_interior("FFT"));
+  EXPECT_FALSE(stateful_interior("Serpent"));
+  EXPECT_FALSE(stateful_interior("BitonicSort"));
+  EXPECT_FALSE(stateful_interior("TDE"));
+}
+
+TEST(AppCharacter, PeekingAppsPeek) {
+  EXPECT_TRUE(parallel::subtree_peeks(make_app("FilterBank")));
+  EXPECT_TRUE(parallel::subtree_peeks(make_app("ChannelVocoder")));
+  EXPECT_TRUE(parallel::subtree_peeks(make_app("FMRadio")));
+  EXPECT_FALSE(parallel::subtree_peeks(make_app("DES")));
+  EXPECT_FALSE(parallel::subtree_peeks(make_app("Serpent")));
+}
+
+TEST(AppCharacter, LinearSuiteHasLinearInterior) {
+  // Count leaf filters the extractor proves linear; the linear-suite apps
+  // must be dominated by them.
+  for (const char* name : {"FIR", "FilterBank", "DCT", "FFT", "RateConvert",
+                           "Oversampler"}) {
+    const ir::NodeP app = make_app(name);
+    int linear_n = 0, interior = 0;
+    ir::visit(app, [&](const ir::NodeP& n) {
+      if (n->kind != ir::Node::Kind::Filter) return;
+      if (n->filter.is_source() || n->filter.is_sink()) return;
+      ++interior;
+      if (linear::extract(n->filter).rep) ++linear_n;
+    });
+    EXPECT_GT(interior, 0) << name;
+    EXPECT_GE(linear_n * 10, interior * 9)
+        << name << ": " << linear_n << "/" << interior << " linear";
+  }
+}
+
+TEST(AppCharacter, FirAppIsFullyLinearBetweenEndpoints) {
+  const ir::NodeP app = make_app("FIR");
+  // Strip source and sink; the middle must extract as one linear rep.
+  ASSERT_EQ(app->children.size(), 3u);
+  const auto rep = linear::extract_tree(app->children[1]);
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->peek, 128);
+  EXPECT_EQ(rep->pop, 1);
+  EXPECT_EQ(rep->push, 1);
+}
+
+TEST(AppCharacter, DctCollapsesToSingleLinearNode) {
+  const ir::NodeP app = make_app("DCT");
+  // rowDCT ; transpose ; colDCT ; scale -- all linear, pop 256 push 256.
+  std::vector<ir::NodeP> middle(app->children.begin() + 1,
+                                app->children.end() - 1);
+  const auto rep = linear::extract_tree(ir::make_pipeline("m", middle));
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->pop, 256);
+  EXPECT_EQ(rep->push, 256);
+}
+
+}  // namespace
+}  // namespace sit::apps

@@ -1,0 +1,223 @@
+// Algebraic properties of the linear-combination rules.  These go beyond
+// the direct equivalence tests in test_linear.cc: combination must behave
+// like composition of stream functions, so it must be associative, respect
+// identities, and commute with expansion.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ir/dsl.h"
+#include "linear/combine.h"
+#include "linear/extract.h"
+#include "linear/linear_rep.h"
+#include "sched/exec.h"
+
+namespace sit::linear {
+namespace {
+
+using namespace sit::ir;
+
+LinearRep random_rep(std::mt19937& rng, int max_rate = 3, int max_extra = 2) {
+  std::uniform_int_distribution<int> rate(1, max_rate);
+  std::uniform_int_distribution<int> extra(0, max_extra);
+  std::uniform_real_distribution<double> coeff(-1.0, 1.0);
+  LinearRep r;
+  r.pop = rate(rng);
+  r.peek = r.pop + extra(rng);
+  r.push = rate(rng);
+  r.A = Matrix(static_cast<std::size_t>(r.push), static_cast<std::size_t>(r.peek));
+  r.b.assign(static_cast<std::size_t>(r.push), 0.0);
+  for (int o = 0; o < r.push; ++o) {
+    for (int i = 0; i < r.peek; ++i) {
+      r.A.at(static_cast<std::size_t>(o), static_cast<std::size_t>(i)) = coeff(rng);
+    }
+  }
+  return r;
+}
+
+LinearRep identity_rep() {
+  LinearRep r;
+  r.pop = r.peek = r.push = 1;
+  r.A = Matrix(1, 1);
+  r.A.at(0, 0) = 1.0;
+  r.b = {0.0};
+  return r;
+}
+
+std::vector<double> run_rep(const LinearRep& r, int items) {
+  sched::Executor ex(make_filter(to_filter(r, "f")));
+  std::mt19937 rng(777);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> input;
+  ex.set_input_generator([&](std::int64_t i) {
+    while (static_cast<std::int64_t>(input.size()) <= i) input.push_back(d(rng));
+    return input[static_cast<std::size_t>(i)];
+  });
+  std::vector<double> out;
+  while (static_cast<int>(out.size()) < items) {
+    const auto got = ex.run_steady(1);
+    out.insert(out.end(), got.begin(), got.end());
+  }
+  out.resize(static_cast<std::size_t>(items));
+  return out;
+}
+
+void expect_same_function(const LinearRep& a, const LinearRep& b, int items) {
+  const auto xa = run_rep(a, items);
+  const auto xb = run_rep(b, items);
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    ASSERT_NEAR(xa[i], xb[i], 1e-9) << "at " << i;
+  }
+}
+
+class AssociativityP : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AssociativityP, PipelineCombinationIsAssociative) {
+  std::mt19937 rng(GetParam());
+  const LinearRep a = random_rep(rng);
+  const LinearRep b = random_rep(rng);
+  const LinearRep c = random_rep(rng);
+  const LinearRep left = combine_pipeline(combine_pipeline(a, b), c);
+  const LinearRep right = combine_pipeline(a, combine_pipeline(b, c));
+  EXPECT_EQ(left.pop % right.pop == 0 || right.pop % left.pop == 0, true);
+  expect_same_function(left, right, 3 * std::max(left.push, right.push) + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, AssociativityP, ::testing::Range(500u, 515u));
+
+TEST(CombineAlgebra, IdentityIsNeutral) {
+  std::mt19937 rng(42);
+  for (int t = 0; t < 10; ++t) {
+    const LinearRep r = random_rep(rng);
+    expect_same_function(combine_pipeline(identity_rep(), r), r, 3 * r.push + 2);
+    expect_same_function(combine_pipeline(r, identity_rep()), r, 3 * r.push + 2);
+  }
+}
+
+TEST(CombineAlgebra, ExpansionCommutesWithCombination) {
+  // expand(combine(a,b), k) computes the same stream as
+  // combine(expand-compatible versions): both are just k steady states.
+  std::mt19937 rng(9);
+  const LinearRep a = random_rep(rng);
+  const LinearRep b = random_rep(rng);
+  const LinearRep ab = combine_pipeline(a, b);
+  expect_same_function(expand(ab, 3), ab, 3 * ab.push * 3 + 2);
+}
+
+TEST(CombineAlgebra, ScalarGainsCompose) {
+  // gain(x) ; gain(y) == gain(x*y), exactly.
+  auto gain_rep = [](double g) {
+    LinearRep r = identity_rep();
+    r.A.at(0, 0) = g;
+    return r;
+  };
+  const LinearRep c = combine_pipeline(gain_rep(2.5), gain_rep(-4.0));
+  EXPECT_EQ(c.peek, 1);
+  EXPECT_EQ(c.pop, 1);
+  EXPECT_EQ(c.push, 1);
+  EXPECT_DOUBLE_EQ(c.A.at(0, 0), -10.0);
+}
+
+TEST(CombineAlgebra, AffineConstantsPropagate) {
+  // (x -> 2x + 3) ; (y -> -y + 1)  ==  x -> -2x + (-3 + 1) = -2x - 2.
+  LinearRep f = identity_rep();
+  f.A.at(0, 0) = 2.0;
+  f.b = {3.0};
+  LinearRep g = identity_rep();
+  g.A.at(0, 0) = -1.0;
+  g.b = {1.0};
+  const LinearRep c = combine_pipeline(f, g);
+  EXPECT_DOUBLE_EQ(c.A.at(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(c.b[0], -2.0);
+}
+
+TEST(CombineAlgebra, RateProductLaw) {
+  // Combined pop/push follow the lcm construction exactly.
+  std::mt19937 rng(5);
+  for (int t = 0; t < 20; ++t) {
+    const LinearRep a = random_rep(rng);
+    const LinearRep b = random_rep(rng);
+    const LinearRep c = combine_pipeline(a, b);
+    const std::int64_t m = std::lcm(a.push, b.pop);
+    EXPECT_EQ(c.pop, (m / a.push) * a.pop);
+    EXPECT_EQ(c.push, (m / b.pop) * b.push);
+    EXPECT_GE(c.peek, c.pop);
+  }
+}
+
+TEST(CombineAlgebra, SplitJoinOfIdentitiesIsAPermutation) {
+  // RR(1,1) split over two identities joined RR(1,1) is the identity on
+  // pairs; with join weights swapped it is the pairwise swap.
+  const std::vector<LinearRep> ids = {identity_rep(), identity_rep()};
+  ir::Splitter rr = ir::roundrobin_split({1, 1});
+  const LinearRep same = combine_splitjoin(rr, ids, {1, 1});
+  EXPECT_EQ(same.pop, 2);
+  EXPECT_EQ(same.push, 2);
+  EXPECT_DOUBLE_EQ(same.A.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(same.A.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(same.A.at(0, 1), 0.0);
+}
+
+TEST(CombineAlgebra, DuplicateSplitJoinSumsViaDownstreamAdder) {
+  // dup -> {gain 2, gain 3} -> rr(1,1) join -> adder(2)  ==  x -> 5x.
+  LinearRep g2 = identity_rep();
+  g2.A.at(0, 0) = 2.0;
+  LinearRep g3 = identity_rep();
+  g3.A.at(0, 0) = 3.0;
+  const LinearRep sj =
+      combine_splitjoin(ir::duplicate_split(), {g2, g3}, {1, 1});
+  LinearRep adder;
+  adder.pop = adder.peek = 2;
+  adder.push = 1;
+  adder.A = Matrix(1, 2);
+  adder.A.at(0, 0) = 1.0;
+  adder.A.at(0, 1) = 1.0;
+  adder.b = {0.0};
+  const LinearRep total = combine_pipeline(sj, adder);
+  EXPECT_EQ(total.pop, 1);
+  EXPECT_EQ(total.push, 1);
+  EXPECT_DOUBLE_EQ(total.A.at(0, 0), 5.0);
+}
+
+TEST(CombineAlgebra, NestedSplitJoins) {
+  // A splitjoin whose branches are themselves combined splitjoins.
+  std::mt19937 rng(31);
+  std::vector<LinearRep> inner1 = {random_rep(rng, 2, 0), random_rep(rng, 2, 0)};
+  inner1[1].pop = inner1[0].pop;  // duplicate split needs equal consumption
+  inner1[1].peek = inner1[1].pop;
+  inner1[1].A = Matrix(static_cast<std::size_t>(inner1[1].push),
+                       static_cast<std::size_t>(inner1[1].peek));
+  for (int o = 0; o < inner1[1].push; ++o) {
+    for (int i = 0; i < inner1[1].peek; ++i) {
+      inner1[1].A.at(static_cast<std::size_t>(o), static_cast<std::size_t>(i)) = 0.5;
+    }
+  }
+  const LinearRep b1 = combine_splitjoin(ir::duplicate_split(), inner1,
+                                         {inner1[0].push, inner1[1].push});
+  const LinearRep b2 = identity_rep();
+  // Outer RR splitjoin with weights matched to each branch's pop.
+  const LinearRep outer = combine_splitjoin(
+      ir::roundrobin_split({b1.pop, b2.pop}), {b1, b2}, {b1.push, b2.push});
+  EXPECT_EQ(outer.pop, b1.pop + b2.pop);
+  EXPECT_EQ(outer.push, b1.push + b2.push);
+}
+
+TEST(CombineAlgebra, TrimKeepsFunction) {
+  // A rep whose newest window items are unused must shrink its peek without
+  // changing the function.
+  LinearRep r;
+  r.pop = 1;
+  r.peek = 6;
+  r.push = 1;
+  r.A = Matrix(1, 6);
+  r.A.at(0, 0) = 1.0;
+  r.A.at(0, 1) = 2.0;  // indices 2..5 unused
+  r.b = {0.0};
+  const LinearRep c = combine_pipeline(r, identity_rep());
+  EXPECT_EQ(c.peek, 2);
+  expect_same_function(c, r, 12);
+}
+
+}  // namespace
+}  // namespace sit::linear

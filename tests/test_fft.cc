@@ -1,0 +1,161 @@
+// Tests for the FFT substrate: transform correctness against a naive DFT,
+// algebraic identities, convolution, and the streaming overlap-save engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fft/fft.h"
+
+namespace sit::fft {
+namespace {
+
+std::vector<cplx> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx(d(rng), d(rng));
+  return x;
+}
+
+double max_err(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+TEST(Fft, MatchesNaiveDftAcrossSizes) {
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    const auto x = random_signal(n, 42 + static_cast<unsigned>(n));
+    EXPECT_LT(max_err(fft(x), dft_naive(x)), 1e-9 * static_cast<double>(n))
+        << "size " << n;
+  }
+}
+
+TEST(Fft, InverseRoundTrips) {
+  const auto x = random_signal(128, 7);
+  EXPECT_LT(max_err(ifft(fft(x)), x), 1e-12);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cplx> x(32, cplx(0, 0));
+  x[0] = cplx(1, 0);
+  const auto f = fft(x);
+  for (const auto& v : f) EXPECT_LT(std::abs(v - cplx(1, 0)), 1e-12);
+}
+
+TEST(Fft, LinearityHolds) {
+  const auto x = random_signal(64, 1);
+  const auto y = random_signal(64, 2);
+  std::vector<cplx> z(64);
+  for (std::size_t i = 0; i < 64; ++i) z[i] = 2.0 * x[i] + 3.0 * y[i];
+  const auto fz = fft(z);
+  const auto fx = fft(x);
+  const auto fy = fft(y);
+  std::vector<cplx> expect(64);
+  for (std::size_t i = 0; i < 64; ++i) expect[i] = 2.0 * fx[i] + 3.0 * fy[i];
+  EXPECT_LT(max_err(fz, expect), 1e-10);
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  const auto x = random_signal(256, 3);
+  double time_e = 0.0;
+  for (const auto& v : x) time_e += std::norm(v);
+  const auto f = fft(x);
+  double freq_e = 0.0;
+  for (const auto& v : f) freq_e += std::norm(v);
+  EXPECT_NEAR(freq_e / 256.0, time_e, 1e-9);
+}
+
+TEST(Fft, NonPow2Throws) {
+  std::vector<cplx> x(12);
+  EXPECT_THROW(fft_inplace(x, false), std::invalid_argument);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+std::vector<double> naive_conv(const std::vector<double>& x,
+                               const std::vector<double>& h) {
+  std::vector<double> y(x.size() + h.size() - 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t j = 0; j < h.size(); ++j) y[i + j] += x[i] * h[j];
+  return y;
+}
+
+TEST(Conv, MatchesNaiveConvolution) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> x(37), h(9);
+  for (auto& v : x) v = d(rng);
+  for (auto& v : h) v = d(rng);
+  const auto got = convolve(x, h);
+  const auto want = naive_conv(x, h);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+TEST(OverlapSaveTest, StreamingMatchesDirectFir) {
+  // y[i] = sum_k h[k] x[i-k] with zero history before the stream starts.
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> h(16);
+  for (auto& v : h) v = d(rng);
+
+  OverlapSave os(h, 64);
+  const std::size_t blk = os.block_size();
+  ASSERT_EQ(blk, 64u - 16u + 1u);
+
+  std::vector<double> x(blk * 4);
+  for (auto& v : x) v = d(rng);
+
+  std::vector<double> got;
+  for (std::size_t b = 0; b < 4; ++b) {
+    std::vector<double> in(x.begin() + static_cast<long>(b * blk),
+                           x.begin() + static_cast<long>((b + 1) * blk));
+    const auto out = os.process(in);
+    got.insert(got.end(), out.begin(), out.end());
+  }
+
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    double want = 0.0;
+    for (std::size_t k = 0; k < h.size(); ++k) {
+      if (i >= k) want += h[k] * x[i - k];
+    }
+    ASSERT_NEAR(got[i], want, 1e-9) << "at sample " << i;
+  }
+}
+
+TEST(OverlapSaveTest, PrimedHistoryShiftsAlignment) {
+  std::vector<double> h{1.0, 2.0, 3.0};  // y[i] = x[i] + 2x[i-1] + 3x[i-2]
+  OverlapSave os(h, 8);
+  os.prime_history({10.0, 20.0});  // x[-2] = 10, x[-1] = 20
+  std::vector<double> in(os.block_size(), 1.0);
+  const auto out = os.process(in);
+  // y[0] = 1 + 2*20 + 3*10 = 71; y[1] = 1 + 2*1 + 3*20 = 63; y[2] = 6.
+  EXPECT_NEAR(out[0], 71.0, 1e-12);
+  EXPECT_NEAR(out[1], 63.0, 1e-12);
+  EXPECT_NEAR(out[2], 6.0, 1e-12);
+}
+
+TEST(OverlapSaveTest, BadSizesThrow) {
+  EXPECT_THROW(OverlapSave({1.0}, 12), std::invalid_argument);
+  EXPECT_THROW(OverlapSave(std::vector<double>(65, 1.0), 64), std::invalid_argument);
+  OverlapSave os({1.0, 2.0}, 8);
+  EXPECT_THROW(os.process(std::vector<double>(3, 0.0)), std::invalid_argument);
+  EXPECT_THROW(os.prime_history({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(FftCost, GrowsAsNLogN) {
+  EXPECT_DOUBLE_EQ(fft_cost_flops(1), 0.0);
+  EXPECT_DOUBLE_EQ(fft_cost_flops(8), 5.0 * 8 * 3);
+  EXPECT_DOUBLE_EQ(fft_cost_flops(1024), 5.0 * 1024 * 10);
+}
+
+}  // namespace
+}  // namespace sit::fft

@@ -1,0 +1,374 @@
+// Tests for the parallelization machinery: fusion, fission, coarsening,
+// selective fusion, the machine model, and the end-to-end strategies.
+// Every transformation is checked for *semantic preservation* (identical
+// output stream) in addition to its structural effect.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ir/dsl.h"
+#include "machine/machine.h"
+#include "parallel/strategies.h"
+#include "parallel/transforms.h"
+#include "sched/exec.h"
+
+namespace sit::parallel {
+namespace {
+
+using namespace sit::ir::dsl;
+using namespace sit::ir;
+
+std::vector<double> run_graph(const NodeP& root, int items_out) {
+  sched::Executor ex(ir::clone(root));
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> d(-2.0, 2.0);
+  std::vector<double> input;
+  ex.set_input_generator([&input, &rng, &d](std::int64_t i) {
+    while (static_cast<std::int64_t>(input.size()) <= i) input.push_back(d(rng));
+    return input[static_cast<std::size_t>(i)];
+  });
+  std::vector<double> out;
+  int guard = 0;
+  while (static_cast<int>(out.size()) < items_out && ++guard < 20000) {
+    const auto got = ex.run_steady(1);
+    out.insert(out.end(), got.begin(), got.end());
+  }
+  out.resize(static_cast<std::size_t>(items_out));
+  return out;
+}
+
+void expect_same_stream(const NodeP& a, const NodeP& b, int items,
+                        double tol = 1e-9) {
+  const auto xa = run_graph(a, items);
+  const auto xb = run_graph(b, items);
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    ASSERT_NEAR(xa[i], xb[i], tol) << "diverges at " << i;
+  }
+}
+
+NodeP scaler(const std::string& name, double f) {
+  return filter(name).rates(1, 1, 1).work(seq({push_(pop_() * c(f))})).node();
+}
+
+NodeP avg3(const std::string& name) {
+  return filter(name)
+      .rates(3, 1, 1)
+      .work(seq({push_((peek_(0) + peek_(1) + peek_(2)) / c(3.0)), discard(1)}))
+      .node();
+}
+
+NodeP accumulator(const std::string& name) {
+  return filter(name)
+      .rates(1, 1, 1)
+      .scalar("s", ir::Value(0.0))
+      .work(seq({let("s", v("s") + pop_()), push_(v("s"))}))
+      .node();
+}
+
+NodeP up2(const std::string& name) {
+  return filter(name).rates(1, 1, 2).work(seq({let("x", pop_()), push_(v("x")), push_(v("x") * c(0.5))})).node();
+}
+
+NodeP down2(const std::string& name) {
+  return filter(name).rates(2, 2, 1).work(seq({push_(pop_() + pop_())})).node();
+}
+
+// ---- statefulness classification ----------------------------------------------
+
+TEST(Classify, StatefulAndPeekingDetection) {
+  EXPECT_FALSE(leaf_stateful(*scaler("s", 2.0)));
+  EXPECT_TRUE(leaf_stateful(*accumulator("a")));
+  EXPECT_FALSE(subtree_peeks(scaler("s", 2.0)));
+  EXPECT_TRUE(subtree_peeks(avg3("m")));
+  auto pipe = make_pipeline("p", {scaler("x", 1.0), accumulator("acc")});
+  EXPECT_TRUE(subtree_stateful(pipe));
+}
+
+// ---- fusion -------------------------------------------------------------------
+
+TEST(Fuse, PipelineOfStatelessFilters) {
+  auto orig = make_pipeline("p", {scaler("a", 2.0), up2("b"), down2("c")});
+  auto fused = fuse_subtree(orig, "fusedP");
+  ASSERT_EQ(fused->kind, Node::Kind::Native);
+  EXPECT_FALSE(fused->native.stateful);
+  EXPECT_EQ(fused->native.pop, 1);
+  EXPECT_EQ(fused->native.push, 1);
+  expect_same_stream(orig, fused, 30);
+}
+
+TEST(Fuse, PeekingPipelineBecomesStatefulButCorrect) {
+  auto orig = make_pipeline("p", {scaler("a", 2.0), avg3("m"), scaler("b", 0.5)});
+  auto fused = fuse_subtree(orig, "fusedPeek");
+  EXPECT_TRUE(fused->native.stateful);
+  EXPECT_GT(fused->native.peek, fused->native.pop);
+  expect_same_stream(orig, fused, 25);
+}
+
+TEST(Fuse, StatefulPipelinePreservesRunningState) {
+  auto orig = make_pipeline("p", {scaler("a", 1.0), accumulator("acc")});
+  auto fused = fuse_subtree(orig, "fusedAcc");
+  EXPECT_TRUE(fused->native.stateful);
+  expect_same_stream(orig, fused, 40);
+}
+
+TEST(Fuse, SplitJoinFusesToOneActor) {
+  auto sj = make_splitjoin("sj", duplicate_split(), roundrobin_join({1, 1}),
+                           {scaler("l", 3.0), scaler("r", -1.0)});
+  auto fused = fuse_subtree(sj, "fusedSJ");
+  EXPECT_EQ(fused->native.pop, 1);
+  EXPECT_EQ(fused->native.push, 2);
+  expect_same_stream(sj, fused, 30);
+}
+
+TEST(Fuse, RateChangingPipeline) {
+  auto orig = make_pipeline("p", {up2("u"), scaler("m", 2.0), down2("d")});
+  auto fused = fuse_subtree(orig, "fusedRate");
+  expect_same_stream(orig, fused, 30);
+}
+
+// ---- fission ------------------------------------------------------------------
+
+TEST(Fiss, NonPeekingRoundRobinFission) {
+  auto leaf = scaler("w", 1.5);
+  auto fissed = fiss(leaf, 4);
+  ASSERT_EQ(fissed->kind, Node::Kind::SplitJoin);
+  EXPECT_EQ(fissed->children.size(), 4u);
+  expect_same_stream(leaf, fissed, 40);
+}
+
+TEST(Fiss, RateChangingFission) {
+  auto leaf = down2("d");
+  auto fissed = fiss(leaf, 3);
+  expect_same_stream(leaf, fissed, 30);
+}
+
+TEST(Fiss, PeekingFissionUsesDuplication) {
+  auto leaf = avg3("m");
+  auto fissed = fiss(leaf, 4);
+  ASSERT_EQ(fissed->kind, Node::Kind::SplitJoin);
+  EXPECT_EQ(fissed->split.kind, SJKind::Duplicate);
+  expect_same_stream(leaf, fissed, 48);
+}
+
+TEST(Fiss, StatefulRejected) {
+  EXPECT_THROW(fiss(accumulator("a"), 2), std::invalid_argument);
+}
+
+TEST(Fiss, FusedStatelessSubtreeCanBeFissed) {
+  // The paper's coarsen-then-fiss: fuse a stateless pipeline, then fiss the
+  // fused filter.
+  auto orig = make_pipeline("p", {scaler("a", 2.0), scaler("b", 0.25)});
+  auto fused = fuse_subtree(orig, "coarse");
+  ASSERT_FALSE(fused->native.stateful);
+  auto fissed = fiss(fused, 4);
+  expect_same_stream(orig, fissed, 40);
+}
+
+// ---- coarsening / selective fusion -----------------------------------------------
+
+TEST(Coarsen, FusesStatelessRunsOnly) {
+  auto g = make_pipeline("p", {scaler("a", 2.0), scaler("b", 3.0),
+                               accumulator("acc"), scaler("c", 0.5),
+                               scaler("d", 4.0)});
+  auto cg = coarsen_stateless(g);
+  // a+b fuse, acc survives, c+d fuse -> 3 leaves.
+  EXPECT_EQ(count_filters(cg), 3);
+  expect_same_stream(g, cg, 40);
+}
+
+TEST(Coarsen, PeekingFilterBlocksRun) {
+  auto g = make_pipeline("p", {scaler("a", 2.0), avg3("m"), scaler("b", 0.5)});
+  auto cg = coarsen_stateless(g);
+  // The peeking filter cannot join a stateless fused region.
+  EXPECT_EQ(count_filters(cg), 3);
+  expect_same_stream(g, cg, 25);
+}
+
+TEST(Coarsen, StatelessSplitJoinCollapses) {
+  auto g = make_pipeline(
+      "p", {scaler("pre", 1.0),
+            make_splitjoin("sj", duplicate_split(), roundrobin_join({1, 1}),
+                           {scaler("l", 2.0), scaler("r", 3.0)}),
+            down2("post")});
+  auto cg = coarsen_stateless(g);
+  EXPECT_EQ(count_filters(cg), 1);  // whole thing is stateless: one actor
+  expect_same_stream(g, cg, 30);
+}
+
+TEST(SelectiveFusion, ReachesTargetAndPreservesStream) {
+  std::vector<NodeP> stages;
+  for (int i = 0; i < 8; ++i) {
+    stages.push_back(scaler("s" + std::to_string(i), 1.0 + 0.1 * i));
+  }
+  stages.push_back(accumulator("acc"));
+  auto g = make_pipeline("p", stages);
+  auto sf = selective_fusion(g, 3);
+  EXPECT_LE(count_filters(sf), 3);
+  expect_same_stream(g, sf, 40);
+}
+
+TEST(DataParallelize, PreservesSemantics) {
+  auto g = make_pipeline("p", {scaler("a", 2.0), scaler("b", 3.0),
+                               accumulator("acc"), scaler("c", 0.5)});
+  auto dp = data_parallelize(g, 4);
+  expect_same_stream(g, dp, 60);
+}
+
+TEST(FineGrained, PreservesSemantics) {
+  auto g = make_pipeline("p", {scaler("a", 2.0), down2("d")});
+  auto fg = fine_grained_parallelize(g, 4);
+  EXPECT_GT(count_filters(fg), count_filters(g));
+  expect_same_stream(g, fg, 40);
+}
+
+// ---- machine model ---------------------------------------------------------------
+
+TEST(Machine, RouteIsXYAndHopCountsMatch) {
+  machine::MachineConfig cfg;
+  EXPECT_EQ(cfg.cores(), 16);
+  EXPECT_EQ(cfg.hops(0, 15), 6);  // (0,0) -> (3,3)
+  EXPECT_EQ(cfg.route(0, 15).size(), 6u);
+  EXPECT_TRUE(cfg.route(5, 5).empty());
+}
+
+TEST(Machine, PipelinedModeIsBottleneckBound) {
+  machine::MachineConfig cfg;
+  std::vector<machine::PlacedActor> actors = {
+      {"a", 0, 1000.0, 500.0}, {"b", 1, 400.0, 100.0}, {"c", 2, 200.0, 0.0}};
+  std::vector<machine::PlacedEdge> edges = {{0, 1, 10.0, false},
+                                            {1, 2, 10.0, false}};
+  const auto r = machine::simulate(cfg, actors, edges, machine::ExecMode::Pipelined);
+  // Core 0 = 1000 compute + 10 send.
+  EXPECT_DOUBLE_EQ(r.cycles_per_steady, 1010.0);
+  EXPECT_EQ(r.bottleneck_core, 0);
+  EXPECT_GT(r.mflops, 0.0);
+}
+
+TEST(Machine, DataFlowModeSerializesDependences) {
+  machine::MachineConfig cfg;
+  cfg.hop_latency = 0.0;
+  cfg.send_cost = cfg.recv_cost = 0.0;
+  std::vector<machine::PlacedActor> actors = {
+      {"a", 0, 100.0, 0.0}, {"b", 1, 100.0, 0.0}};
+  std::vector<machine::PlacedEdge> edges = {{0, 1, 1.0, false}};
+  const auto pipe = machine::simulate(cfg, actors, edges, machine::ExecMode::Pipelined);
+  const auto df = machine::simulate(cfg, actors, edges, machine::ExecMode::DataFlow);
+  EXPECT_DOUBLE_EQ(pipe.cycles_per_steady, 100.0);  // overlapped
+  EXPECT_DOUBLE_EQ(df.cycles_per_steady, 200.0);    // serialized chain
+}
+
+TEST(Machine, ParallelBranchesOverlapInDataFlow) {
+  machine::MachineConfig cfg;
+  cfg.hop_latency = 0.0;
+  cfg.send_cost = cfg.recv_cost = 0.0;
+  // Diamond: src -> {x, y} -> sink, x and y on different cores.
+  std::vector<machine::PlacedActor> actors = {{"src", 0, 10.0, 0.0},
+                                              {"x", 1, 100.0, 0.0},
+                                              {"y", 2, 100.0, 0.0},
+                                              {"snk", 3, 10.0, 0.0}};
+  std::vector<machine::PlacedEdge> edges = {
+      {0, 1, 1, false}, {0, 2, 1, false}, {1, 3, 1, false}, {2, 3, 1, false}};
+  const auto r = machine::simulate(cfg, actors, edges, machine::ExecMode::DataFlow);
+  EXPECT_DOUBLE_EQ(r.cycles_per_steady, 120.0);
+}
+
+TEST(Machine, LinkContentionBoundsPipelinedThroughput) {
+  machine::MachineConfig cfg;
+  cfg.link_bw = 0.5;  // 2 cycles per item per link
+  std::vector<machine::PlacedActor> actors = {{"a", 0, 10.0, 0.0},
+                                              {"b", 3, 10.0, 0.0}};
+  std::vector<machine::PlacedEdge> edges = {{0, 1, 1000.0, false}};
+  const auto r = machine::simulate(cfg, actors, edges, machine::ExecMode::Pipelined);
+  EXPECT_GE(r.cycles_per_steady, 2000.0);
+}
+
+// ---- strategies -------------------------------------------------------------------
+
+NodeP heavy(const std::string& name, int ops) {
+  // A stateless filter doing `ops` multiply-adds per item.
+  std::vector<ir::StmtP> body{let("s", peek_(0))};
+  for (int i = 0; i < ops; ++i) {
+    body.push_back(let("s", v("s") * c(1.0001) + c(0.5)));
+  }
+  body.push_back(push_(v("s")));
+  body.push_back(discard(1));
+  return filter(name).rates(1, 1, 1).work(seq(body)).node();
+}
+
+NodeP heavy_stateful(const std::string& name, int ops) {
+  std::vector<ir::StmtP> body{let("s", v("st") + peek_(0))};
+  for (int i = 0; i < ops; ++i) {
+    body.push_back(let("s", v("s") * c(0.999) + c(0.5)));
+  }
+  body.push_back(let("st", v("s") * c(0.001)));
+  body.push_back(push_(v("s")));
+  body.push_back(discard(1));
+  return filter(name).rates(1, 1, 1).scalar("st", ir::Value(0.0)).work(seq(body)).node();
+}
+
+TEST(Strategies, DataParallelismScalesStatelessPipeline) {
+  auto app = make_pipeline("app", {heavy("h1", 50), heavy("h2", 50)});
+  machine::MachineConfig cfg;
+  const auto task = run_strategy(app, Strategy::TaskParallel, cfg);
+  const auto data = run_strategy(app, Strategy::TaskData, cfg);
+  // Task parallelism cannot split a linear pipeline; data parallelism can.
+  EXPECT_LT(task.speedup_vs_single, 2.0);
+  EXPECT_GT(data.speedup_vs_single, 6.0);
+}
+
+TEST(Strategies, SoftwarePipeliningBeatsTaskOnPipelines) {
+  auto app = make_pipeline(
+      "app", {heavy_stateful("s1", 40), heavy_stateful("s2", 40),
+              heavy_stateful("s3", 40), heavy_stateful("s4", 40)});
+  machine::MachineConfig cfg;
+  const auto task = run_strategy(app, Strategy::TaskParallel, cfg);
+  const auto swp = run_strategy(app, Strategy::TaskSwp, cfg);
+  // A stateful pipeline has no task or data parallelism at all; software
+  // pipelining still overlaps the four stages.
+  EXPECT_LT(task.speedup_vs_single, 1.5);
+  EXPECT_GT(swp.speedup_vs_single, 2.5);
+}
+
+TEST(Strategies, TaskParallelSeesSplitJoinWidth) {
+  std::vector<NodeP> branches;
+  for (int i = 0; i < 8; ++i) branches.push_back(heavy("b" + std::to_string(i), 60));
+  auto app = make_splitjoin("wide", roundrobin_split(std::vector<int>(8, 1)),
+                            roundrobin_join(std::vector<int>(8, 1)), branches);
+  machine::MachineConfig cfg;
+  const auto task = run_strategy(app, Strategy::TaskParallel, cfg);
+  EXPECT_GT(task.speedup_vs_single, 4.0);
+}
+
+TEST(Strategies, SpaceMultiplexFusesToCoreCount) {
+  std::vector<NodeP> stages;
+  for (int i = 0; i < 24; ++i) stages.push_back(heavy("f" + std::to_string(i), 10 + i));
+  auto app = make_pipeline("deep", stages);
+  machine::MachineConfig cfg;
+  const auto space = run_strategy(app, Strategy::SpaceMultiplex, cfg);
+  EXPECT_LE(count_filters(space.transformed), cfg.cores());
+  EXPECT_GT(space.speedup_vs_single, 2.0);
+}
+
+TEST(Strategies, CombinedBeatsOrMatchesDataAlone) {
+  auto app = make_pipeline("app", {heavy("h1", 30), heavy_stateful("s", 30),
+                                   heavy("h2", 30)});
+  machine::MachineConfig cfg;
+  const auto data = run_strategy(app, Strategy::TaskData, cfg);
+  const auto comb = run_strategy(app, Strategy::TaskDataSwp, cfg);
+  EXPECT_GE(comb.speedup_vs_single, data.speedup_vs_single * 0.95);
+}
+
+TEST(Strategies, TransformedGraphsStillComputeTheSameStream) {
+  auto app = make_pipeline("app", {heavy("h1", 8), heavy_stateful("s", 8),
+                                   heavy("h2", 8)});
+  machine::MachineConfig cfg;
+  for (Strategy s : {Strategy::TaskData, Strategy::TaskSwp, Strategy::TaskDataSwp,
+                     Strategy::SpaceMultiplex, Strategy::FineGrainedData}) {
+    const auto r = run_strategy(app, s, cfg);
+    expect_same_stream(app, r.transformed, 30);
+  }
+}
+
+}  // namespace
+}  // namespace sit::parallel

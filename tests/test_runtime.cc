@@ -1,0 +1,238 @@
+// Tests for channels, the work-function interpreter, and graph flattening.
+
+#include <gtest/gtest.h>
+
+#include "ir/dsl.h"
+#include "runtime/channel.h"
+#include "runtime/flatgraph.h"
+#include "runtime/interp.h"
+
+namespace sit::runtime {
+namespace {
+
+using namespace sit::ir::dsl;
+using ir::FilterSpec;
+
+TEST(Channel, FifoOrderAndCounters) {
+  Channel ch;
+  ch.push_item(1.0);
+  ch.push_item(2.0);
+  ch.push_item(3.0);
+  EXPECT_EQ(ch.size(), 3u);
+  EXPECT_DOUBLE_EQ(ch.peek_item(0), 1.0);
+  EXPECT_DOUBLE_EQ(ch.peek_item(2), 3.0);
+  EXPECT_DOUBLE_EQ(ch.pop_item(), 1.0);
+  EXPECT_DOUBLE_EQ(ch.pop_item(), 2.0);
+  EXPECT_EQ(ch.total_pushed(), 3);
+  EXPECT_EQ(ch.total_popped(), 2);
+}
+
+TEST(Channel, PeekBeyondContentsThrows) {
+  Channel ch;
+  ch.push_item(1.0);
+  EXPECT_THROW(ch.peek_item(1), std::runtime_error);
+  EXPECT_THROW(ch.peek_item(-1), std::runtime_error);
+  ch.pop_item();
+  EXPECT_THROW(ch.pop_item(), std::runtime_error);
+}
+
+FilterSpec moving_avg3() {
+  return filter("avg3")
+      .rates(3, 1, 1)
+      .work(seq({push_((peek_(0) + peek_(1) + peek_(2)) / c(3.0)), discard(1)}))
+      .build();
+}
+
+TEST(Interp, MovingAverageComputesCorrectly) {
+  const FilterSpec f = moving_avg3();
+  FilterState st = Interp::init_state(f);
+  Channel in, out;
+  for (int i = 1; i <= 5; ++i) in.push_item(i);
+  Interp::run_work(f, st, in, out, nullptr);
+  Interp::run_work(f, st, in, out, nullptr);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 2.0);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 3.0);
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(Interp, StatePersistsAcrossInvocations) {
+  // A running-sum accumulator: out = sum of all inputs so far.
+  const FilterSpec f = filter("acc")
+                           .rates(1, 1, 1)
+                           .scalar("sum", ir::Value(0.0))
+                           .work(seq({let("sum", v("sum") + pop_()), push_(v("sum"))}))
+                           .build();
+  FilterState st = Interp::init_state(f);
+  Channel in, out;
+  in.push_many({1.0, 2.0, 3.0});
+  for (int i = 0; i < 3; ++i) Interp::run_work(f, st, in, out, nullptr);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 1.0);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 3.0);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 6.0);
+}
+
+TEST(Interp, InitFillsArrays) {
+  // coeff[i] = i * 0.5 computed in init, used in work.
+  const FilterSpec f =
+      filter("w")
+          .rates(1, 1, 1)
+          .array("coeff", 4)
+          .iscalar("idx", 0)
+          .init(seq({for_("i", 0, 4, set_at("coeff", v("i"), v("i") * c(0.5)))}))
+          .work(seq({push_(pop_() * at("coeff", v("idx"))),
+                     let("idx", (v("idx") + 1) % 4)}))
+          .build();
+  FilterState st = Interp::init_state(f);
+  ASSERT_EQ(st.arrays.at("coeff").size(), 4u);
+  EXPECT_DOUBLE_EQ(st.arrays.at("coeff")[3].as_double(), 1.5);
+  Channel in, out;
+  in.push_many({1.0, 1.0, 1.0, 1.0, 1.0});
+  for (int i = 0; i < 5; ++i) Interp::run_work(f, st, in, out, nullptr);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 0.0);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 0.5);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 1.0);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 1.5);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 0.0);  // wrapped around
+}
+
+TEST(Interp, IntegerSemanticsAreJavaLike) {
+  const FilterSpec f =
+      filter("ints")
+          .rates(0, 0, 3)
+          .work(seq({push_(E(7) / E(2)),            // int division -> 3
+                     push_(E(7) % E(3)),            // 1
+                     push_((E(1) << 4) ^ E(0xFF))}))  // 16 ^ 255 = 239
+          .build();
+  FilterState st = Interp::init_state(f);
+  Channel in, out;
+  Interp::run_work(f, st, in, out, nullptr);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 3.0);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 1.0);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 239.0);
+}
+
+TEST(Interp, OpCountingTalliesCategories) {
+  const FilterSpec f = moving_avg3();
+  FilterState st = Interp::init_state(f);
+  Channel in, out;
+  in.push_many({1, 2, 3});
+  OpCounts ops;
+  Interp::run_work(f, st, in, out, &ops);
+  EXPECT_EQ(ops.flops, 2);     // two adds
+  EXPECT_EQ(ops.divs, 1);      // one division
+  EXPECT_EQ(ops.channel, 5);   // 3 peeks + 1 pop + 1 push
+  EXPECT_GT(ops.weighted(), 0.0);
+}
+
+TEST(Interp, HandlersMutateState) {
+  const FilterSpec f = filter("gain")
+                           .rates(1, 1, 1)
+                           .scalar("g", ir::Value(1.0))
+                           .work(seq({push_(pop_() * v("g"))}))
+                           .handler("setGain", {"x"}, seq({let("g", v("x"))}))
+                           .build();
+  FilterState st = Interp::init_state(f);
+  Interp::run_handler(f, st, "setGain", {ir::Value(2.5)});
+  Channel in, out;
+  in.push_item(4.0);
+  Interp::run_work(f, st, in, out, nullptr);
+  EXPECT_DOUBLE_EQ(out.pop_item(), 10.0);
+  EXPECT_THROW(Interp::run_handler(f, st, "nope", {}), std::runtime_error);
+}
+
+TEST(Interp, SendEmitsMessage) {
+  const FilterSpec f =
+      filter("sender")
+          .rates(1, 1, 1)
+          .work(seq({let("x", pop_()),
+                     ir::send("portalA", "setf", {v("x").e}, 2, 5), push_(v("x"))}))
+          .build();
+  FilterState st = Interp::init_state(f);
+  Channel in, out;
+  in.push_item(7.0);
+  std::vector<SentMessage> got;
+  MessageSink sink = [&](const SentMessage& m) { got.push_back(m); };
+  Interp::run_work(f, st, in, out, nullptr, &sink);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].portal, "portalA");
+  EXPECT_EQ(got[0].method, "setf");
+  EXPECT_EQ(got[0].lat_min, 2);
+  EXPECT_EQ(got[0].lat_max, 5);
+  EXPECT_DOUBLE_EQ(got[0].args[0].as_double(), 7.0);
+}
+
+// ---- flattening -------------------------------------------------------------
+
+using namespace sit::ir;
+
+NodeP rate_filter(const std::string& name, int peek, int pp, int ps) {
+  std::vector<ir::StmtP> body;
+  for (int i = 0; i < ps; ++i) body.push_back(push_(peek_(0)));
+  body.push_back(discard(pp));
+  return dsl::filter(name).rates(std::max(peek, pp), pp, ps).work(seq(body)).node();
+}
+
+TEST(Flatten, PipelineMakesChainOfEdges) {
+  auto p = make_pipeline("p", {rate_filter("a", 1, 1, 2), rate_filter("b", 1, 1, 1),
+                               rate_filter("c", 1, 1, 1)});
+  const FlatGraph g = flatten(p);
+  EXPECT_EQ(g.actors.size(), 3u);
+  // two internal edges + external input + external output
+  EXPECT_EQ(g.edges.size(), 4u);
+  EXPECT_GE(g.input_edge, 0);
+  EXPECT_GE(g.output_edge, 0);
+}
+
+TEST(Flatten, SplitJoinCreatesSplitterAndJoinerActors) {
+  auto sj = make_splitjoin("sj", duplicate_split(), roundrobin_join({1, 2}),
+                           {rate_filter("a", 1, 1, 1), rate_filter("b", 1, 1, 2)});
+  const FlatGraph g = flatten(sj);
+  EXPECT_EQ(g.actors.size(), 4u);
+  int splitters = 0, joiners = 0;
+  for (const auto& a : g.actors) {
+    if (a.kind == FlatActor::Kind::Splitter) ++splitters;
+    if (a.kind == FlatActor::Kind::Joiner) ++joiners;
+  }
+  EXPECT_EQ(splitters, 1);
+  EXPECT_EQ(joiners, 1);
+}
+
+TEST(Flatten, FeedbackBackEdgeCarriesInitialItems) {
+  // Fibonacci-style loop: joiner rr(0 from outside is illegal, so we use a
+  // closed loop: body passes through, loop adds).  Use weights (1,1) with an
+  // external source.
+  auto body = rate_filter("body", 1, 1, 1);
+  auto loop = rate_filter("loop", 1, 1, 1);
+  auto fb = make_feedback("fb", roundrobin_join({1, 1}), body,
+                          roundrobin_split({1, 1}), loop, 2, {1.0, 2.0});
+  const FlatGraph g = flatten(fb);
+  int back = 0;
+  for (const auto& e : g.edges) {
+    if (e.back_edge) {
+      ++back;
+      EXPECT_EQ(e.initial_items.size(), 2u);
+    }
+  }
+  EXPECT_EQ(back, 1);
+  EXPECT_NO_THROW(g.topo_order());
+}
+
+TEST(Flatten, TopoOrderRespectsDataFlow) {
+  auto p = make_pipeline("p", {rate_filter("a", 1, 1, 1), rate_filter("b", 1, 1, 1)});
+  const FlatGraph g = flatten(p);
+  const auto order = g.topo_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(g.actors[static_cast<std::size_t>(order[0])].name, "a");
+  EXPECT_EQ(g.actors[static_cast<std::size_t>(order[1])].name, "b");
+}
+
+TEST(Flatten, MismatchedPipelineStagesThrow) {
+  // A sink followed by more stages: producer/consumer mismatch.
+  auto sink = dsl::filter("snk").rates(1, 1, 0).work(seq({discard(1)})).node();
+  auto p = make_pipeline("p", {sink, rate_filter("b", 1, 1, 1)});
+  EXPECT_THROW(flatten(p), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sit::runtime

@@ -1,0 +1,184 @@
+// Tests for the StreamIt surface-syntax emitter and additional messaging
+// scenarios (multiple receivers, repeated messages, interval latencies).
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "ir/dsl.h"
+#include "ir/streamit_syntax.h"
+#include "msg/messaging.h"
+
+namespace sit::ir {
+namespace {
+
+using namespace sit::ir::dsl;
+
+TEST(StreamItSyntax, FilterRendersAppendixStyle) {
+  const FilterSpec f = filter("Gain")
+                           .rates(1, 1, 1)
+                           .scalar("g", Value(2.0))
+                           .work(seq({push_(pop_() * v("g"))}))
+                           .handler("setGain", {"x"}, seq({let("g", v("x"))}))
+                           .build();
+  const std::string code = filter_to_streamit(f);
+  EXPECT_NE(code.find("extends Filter"), std::string::npos);
+  EXPECT_NE(code.find("Channel input = new FloatChannel()"), std::string::npos);
+  EXPECT_NE(code.find("output.push((input.pop() * g));"), std::string::npos);
+  EXPECT_NE(code.find("void setGain(float x)"), std::string::npos);
+}
+
+TEST(StreamItSyntax, PipelineAndSplitJoinStructure) {
+  auto sj = make_splitjoin("Eq", duplicate_split(), roundrobin_join({1, 1}),
+                           {dsl::identity("A"), dsl::identity("B")});
+  auto p = make_pipeline("Radio", {dsl::identity("Pre"), sj});
+  const std::string code = to_streamit(p);
+  EXPECT_NE(code.find("extends SplitJoin"), std::string::npos);
+  EXPECT_NE(code.find("setSplitter(DUPLICATE);"), std::string::npos);
+  EXPECT_NE(code.find("setJoiner(WEIGHTED_ROUND_ROBIN(1, 1));"), std::string::npos);
+  EXPECT_NE(code.find("class Main extends Stream"), std::string::npos);
+  // Every distinct instance gets a distinct class name.
+  EXPECT_NE(code.find("class A "), std::string::npos);
+  EXPECT_NE(code.find("class B "), std::string::npos);
+}
+
+TEST(StreamItSyntax, FeedbackLoopRendersInitPath) {
+  auto body = filter("Body").rates(2, 2, 2)
+                  .work(seq({let("s", pop_() + pop_()), push_(v("s")), push_(v("s"))}))
+                  .node();
+  auto fb = make_feedback("Echo", roundrobin_join({1, 1}), body,
+                          roundrobin_split({1, 1}), dsl::identity("Loop"), 2,
+                          {0.5, 0.25});
+  const std::string code = to_streamit(fb);
+  EXPECT_NE(code.find("extends FeedbackLoop"), std::string::npos);
+  EXPECT_NE(code.find("setDelay(2);"), std::string::npos);
+  EXPECT_NE(code.find("float initPath(int index)"), std::string::npos);
+  EXPECT_NE(code.find("0.5f"), std::string::npos);
+}
+
+TEST(StreamItSyntax, SendRendersAsPortalInvocation) {
+  auto f = filter("Check")
+               .rates(1, 1, 1)
+               .work(seq({let("x", pop_()),
+                          ir::send("hop", "setf", {c(2.0).e}, 4, 6),
+                          push_(v("x"))}))
+               .build();
+  const std::string code = filter_to_streamit(f);
+  EXPECT_NE(code.find("hop.setf(2f, new TimeInterval(4, 6));"), std::string::npos);
+}
+
+TEST(StreamItSyntax, WholeBenchmarkEmits) {
+  // The full FMRadio renders without error and mentions its key pieces.
+  const std::string code = to_streamit(sit::apps::make_app("FMRadio"));
+  EXPECT_NE(code.find("class equalizer"), std::string::npos);
+  EXPECT_GT(code.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace sit::ir
+
+namespace sit::msg {
+namespace {
+
+using namespace sit::ir;
+using namespace sit::ir::dsl;
+
+NodeP counter_source(const std::string& name) {
+  return filter(name)
+      .rates(0, 0, 1)
+      .iscalar("t", 0)
+      .work(seq({let("t", v("t") + 1), push_(to_float(v("t")))}))
+      .node();
+}
+
+TEST(MessagingMore, OnePortalManyReceivers) {
+  // Two gain filters in sequence, both registered on the same portal.
+  auto g1 = filter("g1")
+                .rates(1, 1, 1)
+                .scalar("g", Value(1.0))
+                .work(seq({push_(pop_() * v("g"))}))
+                .handler("set", {"x"}, seq({let("g", v("x"))}))
+                .node();
+  auto g2 = filter("g2")
+                .rates(1, 1, 1)
+                .scalar("g", Value(1.0))
+                .work(seq({push_(pop_() * v("g"))}))
+                .handler("set", {"x"}, seq({let("g", v("x"))}))
+                .node();
+  auto mon = filter("mon")
+                 .rates(1, 1, 1)
+                 .work(seq({let("x", pop_()),
+                            if_(v("x") == c(4.0),
+                                ir::send("p", "set", {c(3.0).e}, 1, 1)),
+                            push_(v("x"))}))
+                 .node();
+  auto snk = filter("snk").rates(1, 1, 0).work(seq({discard(1)})).node();
+  auto g = make_pipeline("rig", {counter_source("src"), g1, g2, mon, snk});
+
+  MessagingExecutor ex(g);
+  ex.register_receiver("p", "g1");
+  ex.register_receiver("p", "g2");
+  ex.run_steady(20);
+  EXPECT_EQ(ex.stats().sent, 1);
+  EXPECT_EQ(ex.stats().delivered, 2);  // one message, two receivers
+  // Both receivers got it on their own wavefront.
+  ASSERT_EQ(ex.stats().deliveries.size(), 2u);
+  EXPECT_EQ(ex.stats().deliveries[0].receiver_firing, 5);
+  EXPECT_EQ(ex.stats().deliveries[1].receiver_firing, 5);
+}
+
+TEST(MessagingMore, RepeatedMessagesAllDeliverInOrder) {
+  auto gain = filter("gain")
+                  .rates(1, 1, 1)
+                  .scalar("g", Value(1.0))
+                  .work(seq({push_(pop_() * v("g"))}))
+                  .handler("bump", {"x"}, seq({let("g", v("g") + v("x"))}))
+                  .node();
+  auto mon = filter("mon")
+                 .rates(1, 1, 1)
+                 .work(seq({let("x", pop_()),
+                            if_(to_int(v("x")) % ci(5) == ci(0),
+                                ir::send("p", "bump", {c(1.0).e}, 2, 2)),
+                            push_(v("x"))}))
+                 .node();
+  auto snk = filter("snk").rates(1, 1, 0).work(seq({discard(1)})).node();
+  auto g = make_pipeline("rig", {counter_source("src"), gain, mon, snk});
+  MessagingExecutor ex(g);
+  ex.register_receiver("p", "gain");
+  ex.run_steady(47);
+  const auto& st = ex.stats();
+  EXPECT_GE(st.sent, 8);
+  EXPECT_GE(st.delivered, st.sent - 1);
+  for (std::size_t i = 1; i < st.deliveries.size(); ++i) {
+    EXPECT_GT(st.deliveries[i].receiver_firing,
+              st.deliveries[i - 1].receiver_firing);
+  }
+}
+
+TEST(MessagingMore, LatencyIntervalUsesUpperBoundForDelivery) {
+  // Same rig as the upstream test but latency interval [1, 3]: delivery must
+  // land after firing sent_at + 3 (the max), while the schedule constraint
+  // uses the min.
+  auto gain = filter("gain")
+                  .rates(1, 1, 1)
+                  .scalar("g", Value(1.0))
+                  .work(seq({push_(pop_() * v("g"))}))
+                  .handler("set", {"x"}, seq({let("g", v("x"))}))
+                  .node();
+  auto mon = filter("mon")
+                 .rates(1, 1, 1)
+                 .work(seq({let("x", pop_()),
+                            if_(v("x") == c(6.0),
+                                ir::send("p", "set", {c(0.0).e}, 1, 3)),
+                            push_(v("x"))}))
+                 .node();
+  auto snk = filter("snk").rates(1, 1, 0).work(seq({discard(1)})).node();
+  auto g = make_pipeline("rig", {counter_source("src"), gain, mon, snk});
+  MessagingExecutor ex(g);
+  ex.register_receiver("p", "gain");
+  ex.run_steady(20);
+  ASSERT_EQ(ex.stats().deliveries.size(), 1u);
+  EXPECT_EQ(ex.stats().deliveries[0].receiver_firing, 9);  // 6 + lat_max 3
+}
+
+}  // namespace
+}  // namespace sit::msg

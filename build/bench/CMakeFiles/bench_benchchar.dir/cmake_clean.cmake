@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_benchchar.dir/bench_benchchar.cc.o"
+  "CMakeFiles/bench_benchchar.dir/bench_benchchar.cc.o.d"
+  "bench_benchchar"
+  "bench_benchchar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_benchchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

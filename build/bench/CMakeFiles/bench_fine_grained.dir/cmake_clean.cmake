@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fine_grained.dir/bench_fine_grained.cc.o"
+  "CMakeFiles/bench_fine_grained.dir/bench_fine_grained.cc.o.d"
+  "bench_fine_grained"
+  "bench_fine_grained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fine_grained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_main_comp.dir/bench_main_comp.cc.o"
+  "CMakeFiles/bench_main_comp.dir/bench_main_comp.cc.o.d"
+  "bench_main_comp"
+  "bench_main_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_main_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_softpipe.cc" "bench/CMakeFiles/bench_softpipe.dir/bench_softpipe.cc.o" "gcc" "bench/CMakeFiles/bench_softpipe.dir/bench_softpipe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sit_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sit_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/sit_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/sit_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/sit_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/sit_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdep/CMakeFiles/sit_sdep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sit_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sit_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sit_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_softpipe.dir/bench_softpipe.cc.o"
+  "CMakeFiles/bench_softpipe.dir/bench_softpipe.cc.o.d"
+  "bench_softpipe"
+  "bench_softpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_softpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_teleport.dir/bench_teleport.cc.o"
+  "CMakeFiles/bench_teleport.dir/bench_teleport.cc.o.d"
+  "bench_teleport"
+  "bench_teleport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_teleport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thruput.dir/bench_thruput.cc.o"
+  "CMakeFiles/bench_thruput.dir/bench_thruput.cc.o.d"
+  "bench_thruput"
+  "bench_thruput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thruput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_space.dir/bench_vs_space.cc.o"
+  "CMakeFiles/bench_vs_space.dir/bench_vs_space.cc.o.d"
+  "bench_vs_space"
+  "bench_vs_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_pipeline.dir/linear_pipeline.cpp.o"
+  "CMakeFiles/linear_pipeline.dir/linear_pipeline.cpp.o.d"
+  "linear_pipeline"
+  "linear_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_mapping.dir/parallel_mapping.cpp.o"
+  "CMakeFiles/parallel_mapping.dir/parallel_mapping.cpp.o.d"
+  "parallel_mapping"
+  "parallel_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

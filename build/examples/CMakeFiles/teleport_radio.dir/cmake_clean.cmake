@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_radio.dir/teleport_radio.cpp.o"
+  "CMakeFiles/teleport_radio.dir/teleport_radio.cpp.o.d"
+  "teleport_radio"
+  "teleport_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

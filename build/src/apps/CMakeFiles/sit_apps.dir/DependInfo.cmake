@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/apps.cc" "src/apps/CMakeFiles/sit_apps.dir/apps.cc.o" "gcc" "src/apps/CMakeFiles/sit_apps.dir/apps.cc.o.d"
+  "/root/repo/src/apps/common.cc" "src/apps/CMakeFiles/sit_apps.dir/common.cc.o" "gcc" "src/apps/CMakeFiles/sit_apps.dir/common.cc.o.d"
+  "/root/repo/src/apps/linear_suite.cc" "src/apps/CMakeFiles/sit_apps.dir/linear_suite.cc.o" "gcc" "src/apps/CMakeFiles/sit_apps.dir/linear_suite.cc.o.d"
+  "/root/repo/src/apps/parallel_suite.cc" "src/apps/CMakeFiles/sit_apps.dir/parallel_suite.cc.o" "gcc" "src/apps/CMakeFiles/sit_apps.dir/parallel_suite.cc.o.d"
+  "/root/repo/src/apps/radio.cc" "src/apps/CMakeFiles/sit_apps.dir/radio.cc.o" "gcc" "src/apps/CMakeFiles/sit_apps.dir/radio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sit_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

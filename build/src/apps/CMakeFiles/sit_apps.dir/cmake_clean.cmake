@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_apps.dir/apps.cc.o"
+  "CMakeFiles/sit_apps.dir/apps.cc.o.d"
+  "CMakeFiles/sit_apps.dir/common.cc.o"
+  "CMakeFiles/sit_apps.dir/common.cc.o.d"
+  "CMakeFiles/sit_apps.dir/linear_suite.cc.o"
+  "CMakeFiles/sit_apps.dir/linear_suite.cc.o.d"
+  "CMakeFiles/sit_apps.dir/parallel_suite.cc.o"
+  "CMakeFiles/sit_apps.dir/parallel_suite.cc.o.d"
+  "CMakeFiles/sit_apps.dir/radio.cc.o"
+  "CMakeFiles/sit_apps.dir/radio.cc.o.d"
+  "libsit_apps.a"
+  "libsit_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

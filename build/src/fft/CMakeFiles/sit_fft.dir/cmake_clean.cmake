@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_fft.dir/fft.cc.o"
+  "CMakeFiles/sit_fft.dir/fft.cc.o.d"
+  "libsit_fft.a"
+  "libsit_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

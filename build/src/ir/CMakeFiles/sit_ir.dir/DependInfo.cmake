@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ast.cc" "src/ir/CMakeFiles/sit_ir.dir/ast.cc.o" "gcc" "src/ir/CMakeFiles/sit_ir.dir/ast.cc.o.d"
+  "/root/repo/src/ir/dsl.cc" "src/ir/CMakeFiles/sit_ir.dir/dsl.cc.o" "gcc" "src/ir/CMakeFiles/sit_ir.dir/dsl.cc.o.d"
+  "/root/repo/src/ir/graph.cc" "src/ir/CMakeFiles/sit_ir.dir/graph.cc.o" "gcc" "src/ir/CMakeFiles/sit_ir.dir/graph.cc.o.d"
+  "/root/repo/src/ir/streamit_syntax.cc" "src/ir/CMakeFiles/sit_ir.dir/streamit_syntax.cc.o" "gcc" "src/ir/CMakeFiles/sit_ir.dir/streamit_syntax.cc.o.d"
+  "/root/repo/src/ir/validate.cc" "src/ir/CMakeFiles/sit_ir.dir/validate.cc.o" "gcc" "src/ir/CMakeFiles/sit_ir.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

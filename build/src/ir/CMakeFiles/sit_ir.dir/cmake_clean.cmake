@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_ir.dir/ast.cc.o"
+  "CMakeFiles/sit_ir.dir/ast.cc.o.d"
+  "CMakeFiles/sit_ir.dir/dsl.cc.o"
+  "CMakeFiles/sit_ir.dir/dsl.cc.o.d"
+  "CMakeFiles/sit_ir.dir/graph.cc.o"
+  "CMakeFiles/sit_ir.dir/graph.cc.o.d"
+  "CMakeFiles/sit_ir.dir/streamit_syntax.cc.o"
+  "CMakeFiles/sit_ir.dir/streamit_syntax.cc.o.d"
+  "CMakeFiles/sit_ir.dir/validate.cc.o"
+  "CMakeFiles/sit_ir.dir/validate.cc.o.d"
+  "libsit_ir.a"
+  "libsit_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linear/combine.cc" "src/linear/CMakeFiles/sit_linear.dir/combine.cc.o" "gcc" "src/linear/CMakeFiles/sit_linear.dir/combine.cc.o.d"
+  "/root/repo/src/linear/cost.cc" "src/linear/CMakeFiles/sit_linear.dir/cost.cc.o" "gcc" "src/linear/CMakeFiles/sit_linear.dir/cost.cc.o.d"
+  "/root/repo/src/linear/extract.cc" "src/linear/CMakeFiles/sit_linear.dir/extract.cc.o" "gcc" "src/linear/CMakeFiles/sit_linear.dir/extract.cc.o.d"
+  "/root/repo/src/linear/frequency.cc" "src/linear/CMakeFiles/sit_linear.dir/frequency.cc.o" "gcc" "src/linear/CMakeFiles/sit_linear.dir/frequency.cc.o.d"
+  "/root/repo/src/linear/linear_rep.cc" "src/linear/CMakeFiles/sit_linear.dir/linear_rep.cc.o" "gcc" "src/linear/CMakeFiles/sit_linear.dir/linear_rep.cc.o.d"
+  "/root/repo/src/linear/optimize.cc" "src/linear/CMakeFiles/sit_linear.dir/optimize.cc.o" "gcc" "src/linear/CMakeFiles/sit_linear.dir/optimize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/sit_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/sit_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sit_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sit_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_linear.dir/combine.cc.o"
+  "CMakeFiles/sit_linear.dir/combine.cc.o.d"
+  "CMakeFiles/sit_linear.dir/cost.cc.o"
+  "CMakeFiles/sit_linear.dir/cost.cc.o.d"
+  "CMakeFiles/sit_linear.dir/extract.cc.o"
+  "CMakeFiles/sit_linear.dir/extract.cc.o.d"
+  "CMakeFiles/sit_linear.dir/frequency.cc.o"
+  "CMakeFiles/sit_linear.dir/frequency.cc.o.d"
+  "CMakeFiles/sit_linear.dir/linear_rep.cc.o"
+  "CMakeFiles/sit_linear.dir/linear_rep.cc.o.d"
+  "CMakeFiles/sit_linear.dir/optimize.cc.o"
+  "CMakeFiles/sit_linear.dir/optimize.cc.o.d"
+  "libsit_linear.a"
+  "libsit_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsit_linear.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_machine.dir/machine.cc.o"
+  "CMakeFiles/sit_machine.dir/machine.cc.o.d"
+  "libsit_machine.a"
+  "libsit_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/messaging.cc" "src/msg/CMakeFiles/sit_msg.dir/messaging.cc.o" "gcc" "src/msg/CMakeFiles/sit_msg.dir/messaging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdep/CMakeFiles/sit_sdep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sit_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sit_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sit_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_msg.dir/messaging.cc.o"
+  "CMakeFiles/sit_msg.dir/messaging.cc.o.d"
+  "libsit_msg.a"
+  "libsit_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_parallel.dir/strategies.cc.o"
+  "CMakeFiles/sit_parallel.dir/strategies.cc.o.d"
+  "CMakeFiles/sit_parallel.dir/transforms.cc.o"
+  "CMakeFiles/sit_parallel.dir/transforms.cc.o.d"
+  "libsit_parallel.a"
+  "libsit_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

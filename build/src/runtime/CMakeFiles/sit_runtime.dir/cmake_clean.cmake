@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_runtime.dir/flatten.cc.o"
+  "CMakeFiles/sit_runtime.dir/flatten.cc.o.d"
+  "CMakeFiles/sit_runtime.dir/interp.cc.o"
+  "CMakeFiles/sit_runtime.dir/interp.cc.o.d"
+  "libsit_runtime.a"
+  "libsit_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sit_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_sched.dir/exec.cc.o"
+  "CMakeFiles/sit_sched.dir/exec.cc.o.d"
+  "CMakeFiles/sit_sched.dir/schedule.cc.o"
+  "CMakeFiles/sit_sched.dir/schedule.cc.o.d"
+  "libsit_sched.a"
+  "libsit_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_sdep.dir/sdep.cc.o"
+  "CMakeFiles/sit_sdep.dir/sdep.cc.o.d"
+  "CMakeFiles/sit_sdep.dir/transfer.cc.o"
+  "CMakeFiles/sit_sdep.dir/transfer.cc.o.d"
+  "libsit_sdep.a"
+  "libsit_sdep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_sdep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/sit_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_combine_algebra.cc" "tests/CMakeFiles/sit_tests.dir/test_combine_algebra.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_combine_algebra.cc.o.d"
+  "/root/repo/tests/test_fft.cc" "tests/CMakeFiles/sit_tests.dir/test_fft.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_fft.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/sit_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/sit_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_linear.cc" "tests/CMakeFiles/sit_tests.dir/test_linear.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_linear.cc.o.d"
+  "/root/repo/tests/test_parallel.cc" "tests/CMakeFiles/sit_tests.dir/test_parallel.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_parallel.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/sit_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_sched.cc" "tests/CMakeFiles/sit_tests.dir/test_sched.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_sched.cc.o.d"
+  "/root/repo/tests/test_sdep_msg.cc" "tests/CMakeFiles/sit_tests.dir/test_sdep_msg.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_sdep_msg.cc.o.d"
+  "/root/repo/tests/test_syntax_msg2.cc" "tests/CMakeFiles/sit_tests.dir/test_syntax_msg2.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_syntax_msg2.cc.o.d"
+  "/root/repo/tests/test_transfer.cc" "tests/CMakeFiles/sit_tests.dir/test_transfer.cc.o" "gcc" "tests/CMakeFiles/sit_tests.dir/test_transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msg/CMakeFiles/sit_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/sit_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sit_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/sit_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sit_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/sit_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdep/CMakeFiles/sit_sdep.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sit_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sit_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/sit_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

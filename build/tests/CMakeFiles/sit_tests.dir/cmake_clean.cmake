@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sit_tests.dir/test_apps.cc.o"
+  "CMakeFiles/sit_tests.dir/test_apps.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_combine_algebra.cc.o"
+  "CMakeFiles/sit_tests.dir/test_combine_algebra.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_fft.cc.o"
+  "CMakeFiles/sit_tests.dir/test_fft.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_integration.cc.o"
+  "CMakeFiles/sit_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_ir.cc.o"
+  "CMakeFiles/sit_tests.dir/test_ir.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_linear.cc.o"
+  "CMakeFiles/sit_tests.dir/test_linear.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_parallel.cc.o"
+  "CMakeFiles/sit_tests.dir/test_parallel.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_runtime.cc.o"
+  "CMakeFiles/sit_tests.dir/test_runtime.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_sched.cc.o"
+  "CMakeFiles/sit_tests.dir/test_sched.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_sdep_msg.cc.o"
+  "CMakeFiles/sit_tests.dir/test_sdep_msg.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_syntax_msg2.cc.o"
+  "CMakeFiles/sit_tests.dir/test_syntax_msg2.cc.o.d"
+  "CMakeFiles/sit_tests.dir/test_transfer.cc.o"
+  "CMakeFiles/sit_tests.dir/test_transfer.cc.o.d"
+  "sit_tests"
+  "sit_tests.pdb"
+  "sit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,154 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+namespace sit::analysis {
+
+namespace {
+
+// Scalar names assigned anywhere under `s` (including loop variables).
+void collect_assigned(const ir::StmtP& s, std::set<std::string>& names) {
+  if (!s) return;
+  using K = ir::Stmt::Kind;
+  switch (s->kind) {
+    case K::Block:
+      for (const auto& c : s->stmts) collect_assigned(c, names);
+      break;
+    case K::Assign:
+      names.insert(s->name);
+      break;
+    case K::For:
+      names.insert(s->name);
+      collect_assigned(s->body, names);
+      break;
+    case K::If:
+      collect_assigned(s->body, names);
+      collect_assigned(s->elseBody, names);
+      break;
+    default:  // ArrayAssign, Push, PopN, Send touch no tracked scalar
+      break;
+  }
+}
+
+class Builder {
+ public:
+  Cfg build(const ir::StmtP& body, const std::string& root) {
+    cfg_.entry = add(CfgNode::Kind::Entry, nullptr, root);
+    cfg_.exit = add(CfgNode::Kind::Exit, nullptr, root + ".exit");
+    const int tail = lower(body, cfg_.entry, root);
+    edge(tail, cfg_.exit);
+    return std::move(cfg_);
+  }
+
+ private:
+  int add(CfgNode::Kind k, const ir::Stmt* s, std::string where) {
+    CfgNode n;
+    n.kind = k;
+    n.stmt = s;
+    n.where = std::move(where);
+    n.loop_head = (k == CfgNode::Kind::ForTest);
+    cfg_.nodes.push_back(std::move(n));
+    const int id = static_cast<int>(cfg_.nodes.size()) - 1;
+    if (s != nullptr && (k == CfgNode::Kind::Stmt || k == CfgNode::Kind::Branch ||
+                         k == CfgNode::Kind::ForInit)) {
+      cfg_.stmt_nodes[s].push_back(id);
+    }
+    return id;
+  }
+
+  void edge(int a, int b) {
+    cfg_.nodes[static_cast<std::size_t>(a)].succ.push_back(b);
+    cfg_.nodes[static_cast<std::size_t>(b)].pred.push_back(a);
+  }
+
+  // Lower `s`, chaining from node `cur`; returns the tail node.
+  int lower(const ir::StmtP& s, int cur, const std::string& where) {
+    if (!s) return cur;
+    using K = ir::Stmt::Kind;
+    switch (s->kind) {
+      case K::Block: {
+        int tail = cur;
+        for (std::size_t i = 0; i < s->stmts.size(); ++i) {
+          tail = lower(s->stmts[i], tail,
+                       where + "[" + std::to_string(i) + "]");
+        }
+        return tail;
+      }
+      case K::If: {
+        const int b = add(CfgNode::Kind::Branch, s.get(), where + ".if");
+        edge(cur, b);
+        const int j = add(CfgNode::Kind::Join, s.get(), where + ".endif");
+        const int then_tail = lower(s->body, b, where + ".then");
+        edge(then_tail, j);
+        if (s->elseBody) {
+          const int else_tail = lower(s->elseBody, b, where + ".else");
+          edge(else_tail, j);
+        } else {
+          edge(b, j);
+        }
+        return j;
+      }
+      case K::For: {
+        const std::string w = where + ".for(" + s->name + ")";
+        const int init = add(CfgNode::Kind::ForInit, s.get(), w);
+        edge(cur, init);
+        const int test = add(CfgNode::Kind::ForTest, s.get(), w + ".head");
+        auto& mods = cfg_.nodes[static_cast<std::size_t>(test)].loop_mods;
+        mods.insert(s->name);
+        collect_assigned(s->body, mods);
+        edge(init, test);
+        const int enter = add(CfgNode::Kind::ForBody, s.get(), w + ".body");
+        edge(test, enter);
+        const int body_tail = lower(s->body, enter, w + ".body");
+        const int inc = add(CfgNode::Kind::ForInc, s.get(), w + ".inc");
+        edge(body_tail, inc);
+        edge(inc, test);
+        const int leave = add(CfgNode::Kind::ForExit, s.get(), w + ".exit");
+        edge(test, leave);
+        return leave;  // fallthrough path (loop condition false)
+      }
+      default:  // Assign, ArrayAssign, Push, PopN, Send
+        {
+          const int n = add(CfgNode::Kind::Stmt, s.get(), where);
+          edge(cur, n);
+          return n;
+        }
+    }
+  }
+
+  Cfg cfg_;
+};
+
+}  // namespace
+
+std::vector<int> Cfg::rpo() const {
+  std::vector<int> order;
+  std::vector<char> state(nodes.size(), 0);  // 0=unseen 1=open 2=done
+  // Iterative DFS with explicit postorder.
+  std::vector<std::pair<int, std::size_t>> stack;
+  stack.emplace_back(entry, 0);
+  state[static_cast<std::size_t>(entry)] = 1;
+  while (!stack.empty()) {
+    auto& [id, next] = stack.back();
+    const auto& n = nodes[static_cast<std::size_t>(id)];
+    if (next < n.succ.size()) {
+      const int s = n.succ[next++];
+      if (state[static_cast<std::size_t>(s)] == 0) {
+        state[static_cast<std::size_t>(s)] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[static_cast<std::size_t>(id)] = 2;
+      order.push_back(id);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Cfg build_cfg(const ir::StmtP& body, const std::string& root_where) {
+  return Builder().build(body, root_where);
+}
+
+}  // namespace sit::analysis

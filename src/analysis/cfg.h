@@ -1,0 +1,237 @@
+#pragma once
+// Control-flow graph over the work-function AST, plus the generic worklist
+// fixpoint solver that every dataflow pass in this directory runs on.
+//
+// The AST is structured (no goto/break), so the CFG is built by a single
+// recursive lowering: If becomes a diamond, For becomes
+//
+//     ForInit -> ForTest -+-> ForBody -> (body ...) -> ForInc --+
+//                  ^      |                                     |
+//                  |      +-> ForExit -> (loop exit)            |
+//                  +--------------------------------------------+
+//
+// The ForBody/ForExit "assume" nodes carry the branch outcome so that
+// edge-insensitive passes can refine loop-variable facts (e.g. the interval
+// pass clamps `var < hi` on the body side).
+//
+// with ForTest the loop-head join point (the place widening applies).
+// Primitive statements (Assign, ArrayAssign, Push, PopN, Send) become one
+// node each.  Every node records a human-readable `where` path like
+// "work.for(i).body[2]" used by diagnostics.
+
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ast.h"
+
+namespace sit::analysis {
+
+struct CfgNode {
+  enum class Kind {
+    Entry,
+    Exit,
+    Stmt,     // primitive statement (stmt points at it)
+    Branch,   // If condition (stmt = the If)
+    Join,     // If merge point
+    ForInit,  // loop variable := lo        (stmt = the For)
+    ForTest,  // loop head; var < hi        (stmt = the For)
+    ForBody,  // assume var < hi            (body-side edge of ForTest)
+    ForExit,  // assume var >= hi           (exit-side edge of ForTest)
+    ForInc,   // var += step                (stmt = the For)
+  };
+
+  Kind kind{};
+  const ir::Stmt* stmt{nullptr};
+  std::vector<int> succ;
+  std::vector<int> pred;
+  std::string where;         // source path for diagnostics
+  bool loop_head{false};     // true for ForTest nodes
+
+  // ForTest only: scalar names assigned anywhere in the loop body, plus the
+  // loop variable itself.  Joins widen ONLY these at this head -- a variable
+  // the loop never writes is invariant around its back edge, so its value at
+  // the head follows the enclosing level (which stabilizes on its own) and
+  // widening it here would destroy precision an outer clamp already earned.
+  std::set<std::string> loop_mods;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry{0};
+  int exit{1};
+
+  // First CFG node of each lowered statement (primitive -> its Stmt node,
+  // If -> Branch, For -> ForInit), in lowering order.  A statement subtree
+  // that is shared (appears twice in the body) contributes one entry per
+  // occurrence; consumers that re-walk the AST in lowering order should pop
+  // occurrences front to back.
+  std::unordered_map<const ir::Stmt*, std::vector<int>> stmt_nodes;
+
+  // Reverse-postorder over forward edges; iteration in this order makes the
+  // worklist converge quickly.
+  [[nodiscard]] std::vector<int> rpo() const;
+};
+
+// Build the CFG of a statement tree.  `root_where` prefixes node paths
+// (typically "work", "init", or "handler(name)").
+Cfg build_cfg(const ir::StmtP& body, const std::string& root_where);
+
+// ---- generic forward worklist solver ----------------------------------------
+//
+// State must be copyable.  `transfer(node, state)` mutates `state` in place
+// through the node.  `join(into, from, widen_at)` merges `from` into `into`
+// and returns true if `into` changed; when `widen_at` is non-null it is the
+// loop-head node being revisited and the join must over-approximate
+// aggressively enough to guarantee termination (infinite-height domains
+// consult widen_at->loop_mods to widen only what the loop actually writes).
+//
+// Returns the IN state of every node (the fixpoint).  Nodes unreachable from
+// entry keep default-constructed states.
+//
+// After the widened fixpoint converges the solver runs a bounded number of
+// decreasing ("narrowing") passes: each reached node's IN is recomputed as
+// the plain join of its predecessors' OUT -- no widening, no accumulation --
+// and its OUT re-derived by transfer.  Starting from a post-fixpoint every
+// recomputed state still over-approximates the concrete semantics, but facts
+// a loop-head widening blasted to infinity are pulled back to whatever the
+// assume/transfer functions actually justify (e.g. an outer loop variable
+// re-clamped inside an inner loop).
+
+template <typename State>
+class ForwardSolver {
+ public:
+  using TransferFn = std::function<void(const CfgNode&, State&)>;
+  using JoinFn =
+      std::function<bool(State&, const State&, const CfgNode* widen_at)>;
+
+  ForwardSolver(const Cfg& cfg, TransferFn transfer, JoinFn join,
+                int widen_after = 3, int narrow_passes = 2)
+      : cfg_(cfg),
+        transfer_(std::move(transfer)),
+        join_(std::move(join)),
+        widen_after_(widen_after),
+        narrow_passes_(narrow_passes) {}
+
+  // Runs to fixpoint from `entry_state`; afterwards in(i)/out(i) are valid.
+  void run(const State& entry_state) {
+    const std::size_t n = cfg_.nodes.size();
+    in_.assign(n, State{});
+    out_.assign(n, State{});
+    reached_.assign(n, false);
+    visits_.assign(n, 0);
+
+    in_[static_cast<std::size_t>(cfg_.entry)] = entry_state;
+    reached_[static_cast<std::size_t>(cfg_.entry)] = true;
+
+    std::vector<int> order = cfg_.rpo();
+    std::vector<bool> queued(n, false);
+    std::vector<int> work = order;  // seed with all reachable in RPO
+    for (int id : work) queued[static_cast<std::size_t>(id)] = true;
+
+    std::size_t cursor = 0;
+    while (cursor < work.size()) {
+      const int id = work[cursor++];
+      queued[static_cast<std::size_t>(id)] = false;
+      const auto ui = static_cast<std::size_t>(id);
+      const CfgNode& node = cfg_.nodes[ui];
+
+      // IN = join of predecessors' OUT (entry keeps its seeded state).
+      if (id != cfg_.entry) {
+        State merged{};
+        bool any = false;
+        for (int p : node.pred) {
+          const auto up = static_cast<std::size_t>(p);
+          if (!reached_[up]) continue;
+          if (!any) {
+            merged = out_[up];
+            any = true;
+          } else {
+            join_(merged, out_[up], nullptr);
+          }
+        }
+        if (!any) continue;  // not yet reachable
+        const CfgNode* widen_at =
+            node.loop_head && visits_[ui] >= widen_after_ ? &node : nullptr;
+        if (reached_[ui]) {
+          if (!join_(in_[ui], merged, widen_at) && visits_[ui] > 0) {
+            continue;  // IN unchanged: OUT already up to date
+          }
+        } else {
+          in_[ui] = merged;
+          reached_[ui] = true;
+        }
+      }
+      ++visits_[ui];
+
+      State next = in_[ui];
+      transfer_(node, next);
+      out_[ui] = std::move(next);
+      for (int s : node.succ) {
+        if (!queued[static_cast<std::size_t>(s)]) {
+          queued[static_cast<std::size_t>(s)] = true;
+          work.push_back(s);
+        }
+      }
+    }
+
+    // Narrowing: decreasing passes in RPO.  IN is replaced (not joined) by
+    // the fresh merge of predecessor OUTs so widened facts can shrink.
+    for (int pass = 0; pass < narrow_passes_; ++pass) {
+      for (int id : order) {
+        const auto ui = static_cast<std::size_t>(id);
+        if (!reached_[ui]) continue;
+        if (id != cfg_.entry) {
+          const CfgNode& node = cfg_.nodes[ui];
+          State merged{};
+          bool any = false;
+          for (int p : node.pred) {
+            const auto up = static_cast<std::size_t>(p);
+            if (!reached_[up]) continue;
+            if (!any) {
+              merged = out_[up];
+              any = true;
+            } else {
+              join_(merged, out_[up], nullptr);
+            }
+          }
+          if (!any) continue;
+          in_[ui] = std::move(merged);
+        }
+        State next = in_[ui];
+        transfer_(cfg_.nodes[ui], next);
+        out_[ui] = std::move(next);
+      }
+    }
+  }
+
+  [[nodiscard]] const State& in(int id) const {
+    return in_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const State& out(int id) const {
+    return out_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] bool reached(int id) const {
+    return reached_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const State& exit_state() const {
+    return out_[static_cast<std::size_t>(cfg_.exit)];
+  }
+  [[nodiscard]] bool exit_reached() const {
+    return reached_[static_cast<std::size_t>(cfg_.exit)];
+  }
+
+ private:
+  const Cfg& cfg_;
+  TransferFn transfer_;
+  JoinFn join_;
+  int widen_after_;
+  int narrow_passes_;
+  std::vector<State> in_, out_;
+  std::vector<bool> reached_;
+  std::vector<int> visits_;
+};
+
+}  // namespace sit::analysis

@@ -1,0 +1,29 @@
+#pragma once
+// Exact (compile-time) arithmetic over ir::Value.
+//
+// This is the `Exact` leg of the abstract lattice shared by the constant
+// folding/propagation pass and the linear extractor: both interpret the same
+// operators over the same Value domain, so a coefficient the folder computes
+// is bit-identical to what the extractor would have computed inline.  The
+// semantics mirror the runtime interpreter (Java-like: int op int stays int,
+// any float operand promotes).
+//
+// Operations that are undefined at compile time (division by a constant
+// zero) return nullopt; callers decide whether that is a diagnostic (the
+// folder) or a rejection (the extractor).
+
+#include <optional>
+
+#include "ir/ast.h"
+#include "ir/value.h"
+
+namespace sit::analysis {
+
+[[nodiscard]] std::optional<ir::Value> exact_bin(ir::BinOp op,
+                                                 const ir::Value& a,
+                                                 const ir::Value& b);
+
+[[nodiscard]] std::optional<ir::Value> exact_un(ir::UnOp op,
+                                                const ir::Value& a);
+
+}  // namespace sit::analysis

@@ -1,0 +1,223 @@
+#include "analysis/definite_init.h"
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "analysis/cfg.h"
+
+namespace sit::analysis {
+
+using ir::Expr;
+using ir::ExprP;
+using ir::Stmt;
+using ir::StmtP;
+
+namespace {
+
+struct AssignSets {
+  std::set<std::string> may;   // assigned on some path
+  std::set<std::string> must;  // assigned on every path
+};
+
+bool join_sets(AssignSets& into, const AssignSets& from, const CfgNode* /*widen_at*/) {
+  bool changed = false;
+  for (const auto& n : from.may) changed |= into.may.insert(n).second;
+  for (auto it = into.must.begin(); it != into.must.end();) {
+    if (from.must.count(*it) == 0) {
+      it = into.must.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  return changed;
+}
+
+void transfer(const CfgNode& node, AssignSets& st) {
+  switch (node.kind) {
+    case CfgNode::Kind::Stmt:
+      if (node.stmt->kind == Stmt::Kind::Assign) {
+        st.may.insert(node.stmt->name);
+        st.must.insert(node.stmt->name);
+      }
+      break;
+    case CfgNode::Kind::ForInit:
+      st.may.insert(node.stmt->name);
+      st.must.insert(node.stmt->name);
+      break;
+    default:
+      break;
+  }
+}
+
+// Whole-filter usage tally for the state checks.
+struct StateUsage {
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+};
+
+class BodyChecker {
+ public:
+  BodyChecker(const ir::FilterSpec& spec, Cfg cfg,
+              const ForwardSolver<AssignSets>& sol, StateUsage& usage,
+              std::set<std::string> entry_assigned,
+              std::vector<Diagnostic>& out)
+      : cfg_(std::move(cfg)), sol_(sol), usage_(usage),
+        entry_assigned_(std::move(entry_assigned)), out_(out) {
+    for (const auto& d : spec.state) {
+      (d.is_array ? state_arrays_ : state_scalars_).insert(d.name);
+    }
+  }
+
+  void walk(const StmtP& s) {
+    if (!s) return;
+    switch (s->kind) {
+      case Stmt::Kind::Block:
+        for (const auto& c : s->stmts) walk(c);
+        return;
+      case Stmt::Kind::If: {
+        const auto [st, at] = state_at(s.get());
+        check_reads(s->cond, st, at);
+        walk(s->body);
+        walk(s->elseBody);
+        return;
+      }
+      case Stmt::Kind::For: {
+        const auto [st, at] = state_at(s.get());
+        check_reads(s->lo, st, at);
+        check_reads(s->hi, st, at);
+        check_reads(s->step, st, at);
+        walk(s->body);
+        return;
+      }
+      default: {
+        const auto [st, at] = state_at(s.get());
+        check_reads(s->index, st, at);
+        check_reads(s->value, st, at);
+        for (const auto& a : s->args) check_reads(a, st, at);
+        if (s->kind == Stmt::Kind::Assign &&
+            state_scalars_.count(s->name) != 0) {
+          usage_.writes.insert(s->name);
+        }
+        if (s->kind == Stmt::Kind::ArrayAssign) {
+          if (state_arrays_.count(s->name) != 0) {
+            usage_.writes.insert(s->name);
+          } else {
+            out_.push_back(error("init", at,
+                                 "store to undeclared array '" + s->name + "'"));
+          }
+        }
+        return;
+      }
+    }
+  }
+
+ private:
+  std::pair<AssignSets, std::string> state_at(const Stmt* s) {
+    auto& ids = cfg_.stmt_nodes[s];
+    const int id = ids.front();
+    if (ids.size() > 1) ids.erase(ids.begin());
+    return {sol_.in(id), cfg_.nodes[static_cast<std::size_t>(id)].where};
+  }
+
+  void check_reads(const ExprP& e, const AssignSets& st, const std::string& at) {
+    if (!e) return;
+    switch (e->kind) {
+      case Expr::Kind::Var: {
+        const std::string& n = e->name;
+        if (state_scalars_.count(n) != 0) {
+          usage_.reads.insert(n);
+          return;
+        }
+        if (entry_assigned_.count(n) != 0) return;  // handler parameter
+        if (st.must.count(n) != 0) return;
+        if (st.may.count(n) != 0) {
+          out_.push_back(warning(
+              "init", at,
+              "variable '" + n + "' may be read before assignment",
+              "assigned on some paths to this point, but not all"));
+        } else {
+          out_.push_back(error(
+              "init", at, "variable '" + n + "' is read but never assigned",
+              "the interpreter throws \"undefined variable\" here"));
+        }
+        return;
+      }
+      case Expr::Kind::ArrayRef:
+        if (state_arrays_.count(e->name) != 0) {
+          usage_.reads.insert(e->name);
+        } else {
+          out_.push_back(error(
+              "init", at, "read of undeclared array '" + e->name + "'"));
+        }
+        check_reads(e->a, st, at);
+        return;
+      default:
+        check_reads(e->a, st, at);
+        check_reads(e->b, st, at);
+        check_reads(e->c, st, at);
+        return;
+    }
+  }
+
+  Cfg cfg_;
+  const ForwardSolver<AssignSets>& sol_;
+  StateUsage& usage_;
+  std::set<std::string> entry_assigned_;
+  std::set<std::string> state_scalars_, state_arrays_;
+  std::vector<Diagnostic>& out_;
+};
+
+void check_body(const ir::FilterSpec& spec, const StmtP& body,
+                const std::string& where, std::set<std::string> entry_assigned,
+                StateUsage& usage, std::vector<Diagnostic>& out) {
+  if (!body) return;
+  Cfg cfg = build_cfg(body, where);
+  ForwardSolver<AssignSets> sol(cfg, transfer, join_sets);
+  AssignSets entry;
+  entry.may = entry_assigned;
+  entry.must = entry_assigned;
+  sol.run(entry);
+  BodyChecker chk(spec, std::move(cfg), sol, usage, std::move(entry_assigned),
+                  out);
+  chk.walk(body);
+}
+
+}  // namespace
+
+void check_definite_init(const ir::FilterSpec& spec,
+                         std::vector<Diagnostic>& out) {
+  StateUsage usage;
+  for (const auto& d : spec.state) {
+    if (!d.init.empty()) usage.writes.insert(d.name);
+  }
+
+  check_body(spec, spec.init, spec.name + "/init", {}, usage, out);
+  check_body(spec, spec.work, spec.name + "/work", {}, usage, out);
+  for (const auto& [name, h] : spec.handlers) {
+    std::set<std::string> params(h.params.begin(), h.params.end());
+    check_body(spec, h.body, spec.name + "/handler(" + name + ")",
+               std::move(params), usage, out);
+  }
+
+  for (const auto& d : spec.state) {
+    const bool read = usage.reads.count(d.name) != 0;
+    const bool written = usage.writes.count(d.name) != 0;
+    if (read && !written) {
+      out.push_back(error(
+          "init", spec.name,
+          "state '" + d.name + "' is read but never initialized or written",
+          "it can only ever hold the zero-fill value"));
+    } else if (!read && written) {
+      out.push_back(warning("init", spec.name,
+                            "state '" + d.name + "' is never read",
+                            "dead state: stores have no observable effect"));
+    } else if (!read && !written) {
+      out.push_back(warning("init", spec.name,
+                            "state '" + d.name + "' is never used"));
+    }
+  }
+}
+
+}  // namespace sit::analysis

@@ -1,0 +1,32 @@
+#pragma once
+// Definite initialization & dead-state detection (dataflow pass 3).
+//
+// Two related checks on a filter's variables:
+//
+//  * Invocation-local variables: a forward may/must assigned-set analysis
+//    (may = union over paths, must = intersection).  Reading a local that no
+//    path assigns is an error (the interpreter throws "undefined variable"
+//    at runtime); reading one that only some paths assign is a warning.
+//    Loop variables count as definitely assigned from their ForInit onwards
+//    -- after a zero-trip loop the variable still holds `lo`, matching the
+//    interpreter.  Handler parameters are assigned at entry.
+//
+//  * Filter state: the runtime zero-fills state, so reads are always
+//    *defined*; the semantic check is whole-filter.  State that is read
+//    somewhere but written nowhere (no declared initializer, no init-function
+//    store, no work/handler store) can only ever be zero -- reported as an
+//    error.  State that is written but never read is dead weight -- reported
+//    as a warning.
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "ir/filter.h"
+
+namespace sit::analysis {
+
+// Check one filter; appends diagnostics (pass name "init").
+void check_definite_init(const ir::FilterSpec& spec,
+                         std::vector<Diagnostic>& out);
+
+}  // namespace sit::analysis

@@ -1,0 +1,80 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace sit::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Note: return "note";
+  }
+  return "?";
+}
+
+namespace {
+
+Diagnostic make(Severity sev, std::string pass, std::string where,
+                std::string message, std::string detail) {
+  Diagnostic d;
+  d.severity = sev;
+  d.pass = std::move(pass);
+  d.where = std::move(where);
+  d.message = std::move(message);
+  d.detail = std::move(detail);
+  return d;
+}
+
+}  // namespace
+
+Diagnostic error(std::string pass, std::string where, std::string message,
+                 std::string detail) {
+  return make(Severity::Error, std::move(pass), std::move(where),
+              std::move(message), std::move(detail));
+}
+
+Diagnostic warning(std::string pass, std::string where, std::string message,
+                   std::string detail) {
+  return make(Severity::Warning, std::move(pass), std::move(where),
+              std::move(message), std::move(detail));
+}
+
+Diagnostic note(std::string pass, std::string where, std::string message,
+                std::string detail) {
+  return make(Severity::Note, std::move(pass), std::move(where),
+              std::move(message), std::move(detail));
+}
+
+bool has_errors(const std::vector<Diagnostic>& ds) {
+  for (const auto& d : ds) {
+    if (d.is_error()) return true;
+  }
+  return false;
+}
+
+std::size_t count_errors(const std::vector<Diagnostic>& ds) {
+  std::size_t n = 0;
+  for (const auto& d : ds) {
+    if (d.is_error()) ++n;
+  }
+  return n;
+}
+
+std::string render(const std::vector<Diagnostic>& ds) {
+  std::ostringstream os;
+  for (const auto& d : ds) {
+    os << to_string(d.severity);
+    if (!d.pass.empty()) os << '[' << d.pass << ']';
+    if (!d.where.empty()) os << " at " << d.where;
+    os << ": " << d.message << '\n';
+    if (!d.detail.empty()) {
+      std::istringstream lines(d.detail);
+      std::string line;
+      while (std::getline(lines, line)) os << "    | " << line << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sit::analysis

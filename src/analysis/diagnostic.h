@@ -1,0 +1,47 @@
+#pragma once
+// Unified diagnostics for every static analysis in the compiler.
+//
+// All passes -- the structural validator (ir/validate), the dataflow passes
+// of this directory, and the graph-level consistency checks -- report through
+// this one type so drivers (streamlint, check_or_throw, tests) can treat
+// results uniformly: errors reject the program, warnings are advisory.
+//
+// This header is dependency-free on purpose: sit_ir constructs Diagnostics
+// without linking against the analysis library.
+
+#include <string>
+#include <vector>
+
+namespace sit::analysis {
+
+enum class Severity { Error, Warning, Note };
+
+const char* to_string(Severity s);
+
+struct Diagnostic {
+  // `where` first: keeps brace-initialization compatible with the historical
+  // ir::Violation{where, message} call sites this type absorbed.
+  std::string where;    // node path, e.g. "FMRadio/equalizer/eqband3"
+  std::string message;  // one-line human-readable description
+  Severity severity{Severity::Error};
+  std::string pass;     // producing pass: "structure", "intervals", ...
+  std::string detail;   // optional pretty-printed AST of the offending node
+
+  [[nodiscard]] bool is_error() const { return severity == Severity::Error; }
+};
+
+// Convenience constructors.
+Diagnostic error(std::string pass, std::string where, std::string message,
+                 std::string detail = {});
+Diagnostic warning(std::string pass, std::string where, std::string message,
+                   std::string detail = {});
+Diagnostic note(std::string pass, std::string where, std::string message,
+                std::string detail = {});
+
+[[nodiscard]] bool has_errors(const std::vector<Diagnostic>& ds);
+[[nodiscard]] std::size_t count_errors(const std::vector<Diagnostic>& ds);
+
+// Multi-line human-readable report ("error[intervals] at FIR/fir: ...").
+[[nodiscard]] std::string render(const std::vector<Diagnostic>& ds);
+
+}  // namespace sit::analysis

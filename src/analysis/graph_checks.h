@@ -1,0 +1,42 @@
+#pragma once
+// Graph-level consistency checks (pass 4).
+//
+// Three whole-program properties on the flattened actor graph:
+//
+//  * Steady-state solvability: the SDF balance equations
+//    reps[src] * out_rate == reps[dst] * in_rate must admit a positive
+//    integer solution.  Solved exactly with sched/rational.h (header-only,
+//    so no dependency cycle with the scheduler library, which links this
+//    one).
+//
+//  * Feedback-loop liveness: the initialization epoch must terminate -- the
+//    items enqueued on each back edge (the loop's `delay` / initPath) must
+//    cover the peeking demand downstream, otherwise the init firing-count
+//    relaxation grows without bound around the cycle.  Detected exactly the
+//    way sched::make_schedule would fail, but reported as a Diagnostic
+//    naming the under-provisioned edge instead of a thrown string.
+//
+//  * Steady-state liveness: one steady epoch must complete from the
+//    post-init channel marking.  A balanced loop can still deadlock when its
+//    `delay` enqueues fewer items than the cycle consumes per epoch; the
+//    runtime only discovers that mid-execution, so it is simulated here
+//    (data-driven firing until every actor reaches its repetition count).
+//
+// The checks deliberately mirror (not call) the scheduler: sit_sched links
+// sit_analysis so its Executor can run the full suite up front, hence this
+// code may only use headers from sched/.
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "ir/graph.h"
+
+namespace sit::analysis {
+
+// Flattens `root` and checks rate solvability + feedback liveness.  Appends
+// diagnostics (pass name "rates").  Assumes the program already passed the
+// structural checks of ir::check -- malformed graphs that fail to flatten
+// produce a single generic error.
+void check_graph(const ir::NodeP& root, std::vector<Diagnostic>& out);
+
+}  // namespace sit::analysis

@@ -1,0 +1,170 @@
+#pragma once
+// Saturating int64 interval arithmetic for the peek/array bounds pass.
+//
+// An Interval approximates the set of values an integer expression can take.
+// Endpoints saturate at +/-INT64_MAX/MIN, which double as the +/-infinity
+// sentinels; arithmetic that could overflow clamps to the sentinel instead,
+// which only ever widens the interval and so stays sound.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace sit::analysis {
+
+struct Interval {
+  static constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  static constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+  std::int64_t lo{kMin};
+  std::int64_t hi{kMax};
+
+  static Interval top() { return {kMin, kMax}; }
+  static Interval exact(std::int64_t v) { return {v, v}; }
+  static Interval range(std::int64_t lo, std::int64_t hi) { return {lo, hi}; }
+  static Interval at_least(std::int64_t lo) { return {lo, kMax}; }
+
+  [[nodiscard]] bool is_top() const { return lo == kMin && hi == kMax; }
+  [[nodiscard]] bool is_exact() const { return lo == hi; }
+
+  [[nodiscard]] bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  [[nodiscard]] bool within(std::int64_t l, std::int64_t h) const {
+    return lo >= l && hi <= h;
+  }
+
+  [[nodiscard]] std::string str() const {
+    const std::string l = lo == kMin ? "-inf" : std::to_string(lo);
+    const std::string h = hi == kMax ? "+inf" : std::to_string(hi);
+    return "[" + l + ", " + h + "]";
+  }
+
+  [[nodiscard]] Interval join(const Interval& o) const {
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  // Widen `this` toward `o`: any endpoint that moved jumps to infinity.
+  [[nodiscard]] Interval widen(const Interval& o) const {
+    return {o.lo < lo ? kMin : lo, o.hi > hi ? kMax : hi};
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Interval& a, const Interval& b) {
+    return !(a == b);
+  }
+};
+
+namespace detail {
+
+inline std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_add_overflow(a, b, &r)) {
+    return (a > 0) ? Interval::kMax : Interval::kMin;
+  }
+  return r;
+}
+
+inline std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    return ((a > 0) == (b > 0)) ? Interval::kMax : Interval::kMin;
+  }
+  return r;
+}
+
+inline std::int64_t sat_neg(std::int64_t a) {
+  return a == Interval::kMin ? Interval::kMax : -a;
+}
+
+}  // namespace detail
+
+// a + b; an infinite endpoint stays infinite.
+inline Interval iv_add(const Interval& a, const Interval& b) {
+  const std::int64_t lo = (a.lo == Interval::kMin || b.lo == Interval::kMin)
+                              ? Interval::kMin
+                              : detail::sat_add(a.lo, b.lo);
+  const std::int64_t hi = (a.hi == Interval::kMax || b.hi == Interval::kMax)
+                              ? Interval::kMax
+                              : detail::sat_add(a.hi, b.hi);
+  return {lo, hi};
+}
+
+inline Interval iv_neg(const Interval& a) {
+  return {detail::sat_neg(a.hi), detail::sat_neg(a.lo)};
+}
+
+inline Interval iv_sub(const Interval& a, const Interval& b) {
+  return iv_add(a, iv_neg(b));
+}
+
+inline Interval iv_mul(const Interval& a, const Interval& b) {
+  if (a.is_top() || b.is_top()) return Interval::top();
+  const std::int64_t c[4] = {
+      detail::sat_mul(a.lo, b.lo), detail::sat_mul(a.lo, b.hi),
+      detail::sat_mul(a.hi, b.lo), detail::sat_mul(a.hi, b.hi)};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+// Truncating division by a *positive constant* d: monotone, so endpoints map
+// to endpoints.  Any other divisor shape returns top.
+inline Interval iv_div_pos(const Interval& a, std::int64_t d) {
+  if (d <= 0) return Interval::top();
+  const std::int64_t lo = a.lo == Interval::kMin ? Interval::kMin : a.lo / d;
+  const std::int64_t hi = a.hi == Interval::kMax ? Interval::kMax : a.hi / d;
+  return {lo, hi};
+}
+
+// a % d for constant d > 0.  For a >= 0 the result is [0, d-1] (tighter if `a`
+// is already within one period); for possibly-negative `a`, C truncation
+// gives (-(d-1)) .. (d-1).
+inline Interval iv_mod_pos(const Interval& a, std::int64_t d) {
+  if (d <= 0) return Interval::top();
+  if (a.lo >= 0) {
+    if (a.hi < d) return a;  // already reduced
+    return {0, d - 1};
+  }
+  return {-(d - 1), d - 1};
+}
+
+// a & b: if either operand is provably non-negative, the result is bounded by
+// [0, min(hi of the non-negative sides)] -- the classic bitmask rule, which is
+// what proves `x & 15` in-bounds for a 16-entry sbox.
+inline Interval iv_band(const Interval& a, const Interval& b) {
+  const bool an = a.lo >= 0;
+  const bool bn = b.lo >= 0;
+  if (!an && !bn) return Interval::top();
+  std::int64_t hi = Interval::kMax;
+  if (an) hi = std::min(hi, a.hi);
+  if (bn) hi = std::min(hi, b.hi);
+  return {0, hi};
+}
+
+// a << s for constant s in [0, 62]: monotone on non-negative values.
+inline Interval iv_shl_const(const Interval& a, std::int64_t s) {
+  if (s < 0 || s > 62 || a.lo < 0) return Interval::top();
+  const std::int64_t lo = detail::sat_mul(a.lo, std::int64_t{1} << s);
+  const std::int64_t hi =
+      a.hi == Interval::kMax ? Interval::kMax
+                             : detail::sat_mul(a.hi, std::int64_t{1} << s);
+  return {lo, hi};
+}
+
+// a >> s for constant s in [0, 63]: monotone on non-negative values.
+inline Interval iv_shr_const(const Interval& a, std::int64_t s) {
+  if (s < 0 || s > 63 || a.lo < 0) return Interval::top();
+  const std::int64_t hi =
+      a.hi == Interval::kMax ? Interval::kMax : (a.hi >> s);
+  return {a.lo >> s, hi};
+}
+
+inline Interval iv_min(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+inline Interval iv_max(const Interval& a, const Interval& b) {
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+}  // namespace sit::analysis

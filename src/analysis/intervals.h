@@ -1,0 +1,36 @@
+#pragma once
+// Peek/array interval analysis (dataflow pass 2).
+//
+// Proves, per filter, that every channel peek satisfies
+//
+//     0 <= pops_so_far + offset < window        (window = max(peek, pop))
+//
+// and that every state-array access is in bounds of its declaration.  The
+// pass runs the generic worklist solver with a state of
+//   * one saturating int64 Interval per integer scalar (interval.h), and
+//   * an Interval counting pops executed so far in the current firing,
+// then re-walks each body in evaluation order checking every Peek, ArrayRef
+// and ArrayAssign site against the solved facts.
+//
+// State variables persist across firings, so their entry facts are computed
+// by an outer fixpoint: seed from declared initializers (the runtime
+// zero-fills the rest), flow through the init function, then repeatedly join
+// each body's exit facts back into the entry until stable (widening after a
+// few rounds guarantees termination).  This is what proves e.g. a circular
+// index updated as `count = (count + 1) % N` stays within `[0, N-1]`.
+//
+// Anything the domain cannot bound (data-dependent indices, float-valued
+// subscripts) conservatively reports "may be out of bounds" -- the pass
+// errs on the side of noise, never silence.
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "ir/filter.h"
+
+namespace sit::analysis {
+
+// Check one filter; appends diagnostics (pass name "bounds").
+void check_bounds(const ir::FilterSpec& spec, std::vector<Diagnostic>& out);
+
+}  // namespace sit::analysis

@@ -167,6 +167,7 @@ class ChannelCounter {
     r.pushes = pushes_;
     r.max_peek = dynamic_peek_ ? 0 : window_;
     r.static_counts = static_;
+    r.dynamic_peek = dynamic_peek_;
     return r;
   }
 
@@ -244,7 +245,12 @@ class Checker {
 
  private:
   void add(const std::string& where, std::string msg) {
-    violations.push_back({where, std::move(msg)});
+    Violation v;
+    v.where = where;
+    v.message = std::move(msg);
+    v.severity = analysis::Severity::Error;
+    v.pass = "structure";
+    violations.push_back(std::move(v));
   }
 
   void check_filter(const NodeP& n) {
@@ -267,6 +273,13 @@ class Checker {
     if (cc.pushes != f.push) {
       add(n->name, "work pushes " + std::to_string(cc.pushes) +
                        " but declares push=" + std::to_string(f.push));
+    }
+    if (cc.dynamic_peek) {
+      // max_peek is 0 here; without this check a dynamic offset would slip
+      // past the window comparison below unnoticed.
+      add(n->name,
+          "work peeks at a non-static offset; the peek window cannot be "
+          "verified against declared peek=" + std::to_string(f.peek));
     }
     if (cc.max_peek > f.peek) {
       add(n->name, "work peeks to index " + std::to_string(cc.max_peek - 1) +

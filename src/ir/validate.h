@@ -18,14 +18,16 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "ir/graph.h"
 
 namespace sit::ir {
 
-struct Violation {
-  std::string where;
-  std::string message;
-};
+// Structural findings are ordinary analysis diagnostics (pass "structure").
+// The historical Violation{where, message} shape is preserved: those are the
+// first two fields of Diagnostic.  diagnostic.h is header-only from ir's
+// perspective -- sit_ir does not link the analysis library.
+using Violation = analysis::Diagnostic;
 
 std::vector<Violation> check(const NodeP& root);
 
@@ -41,6 +43,10 @@ struct ChannelCounts {
   int pushes{0};
   int max_peek{0};
   bool static_counts{true};
+  // True when some peek offset was not statically evaluable.  max_peek is 0
+  // in that case -- consumers must check this flag rather than trust the
+  // window (a dynamic peek can reach arbitrarily far).
+  bool dynamic_peek{false};
 };
 
 ChannelCounts count_channel_ops(const StmtP& work);

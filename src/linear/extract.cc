@@ -1,10 +1,11 @@
 #include "linear/extract.h"
 
-#include <cmath>
 #include <map>
 #include <set>
 #include <unordered_map>
 
+#include "analysis/const_eval.h"
+#include "analysis/constprop.h"
 #include "runtime/interp.h"
 
 namespace sit::linear {
@@ -60,14 +61,15 @@ struct NotLinear {
 
 class Extractor {
  public:
-  explicit Extractor(const ir::FilterSpec& spec) : spec_(spec) {
+  Extractor(const ir::FilterSpec& spec, StmtP work)
+      : spec_(spec), work_(std::move(work)) {
     // Concrete initial state gives the coefficient constants.
     state_ = runtime::Interp::init_state(spec);
     for (const auto& d : spec.state) state_names_.insert(d.name);
   }
 
   LinearRep run() {
-    exec(spec_.work);
+    exec(work_);
     if (pops_ != spec_.pop) {
       throw NotLinear{"work pops " + std::to_string(pops_) + " != declared " +
                       std::to_string(spec_.pop)};
@@ -263,64 +265,22 @@ class Extractor {
     return a;
   }
 
+  // Exact arithmetic is the shared analysis implementation; nullopt means
+  // the value is undefined (division/modulo by zero, out-of-range shift).
   static Value exact_bin(BinOp op, const Value& a, const Value& b) {
-    const bool ints = a.is_int() && b.is_int();
-    switch (op) {
-      case BinOp::Add: return ints ? Value(a.as_int() + b.as_int()) : Value(a.as_double() + b.as_double());
-      case BinOp::Sub: return ints ? Value(a.as_int() - b.as_int()) : Value(a.as_double() - b.as_double());
-      case BinOp::Mul: return ints ? Value(a.as_int() * b.as_int()) : Value(a.as_double() * b.as_double());
-      case BinOp::Div:
-        if (ints) {
-          if (b.as_int() == 0) throw NotLinear{"constant division by zero"};
-          return Value(a.as_int() / b.as_int());
-        }
-        return Value(a.as_double() / b.as_double());
-      case BinOp::Mod:
-        if (!ints) return Value(std::fmod(a.as_double(), b.as_double()));
-        if (b.as_int() == 0) throw NotLinear{"constant modulo by zero"};
-        return Value(a.as_int() % b.as_int());
-      case BinOp::Min: return ints ? Value(std::min(a.as_int(), b.as_int())) : Value(std::min(a.as_double(), b.as_double()));
-      case BinOp::Max: return ints ? Value(std::max(a.as_int(), b.as_int())) : Value(std::max(a.as_double(), b.as_double()));
-      case BinOp::Pow: return Value(std::pow(a.as_double(), b.as_double()));
-      case BinOp::Lt: return Value(ints ? a.as_int() < b.as_int() : a.as_double() < b.as_double());
-      case BinOp::Le: return Value(ints ? a.as_int() <= b.as_int() : a.as_double() <= b.as_double());
-      case BinOp::Gt: return Value(ints ? a.as_int() > b.as_int() : a.as_double() > b.as_double());
-      case BinOp::Ge: return Value(ints ? a.as_int() >= b.as_int() : a.as_double() >= b.as_double());
-      case BinOp::Eq: return Value(ints ? a.as_int() == b.as_int() : a.as_double() == b.as_double());
-      case BinOp::Ne: return Value(ints ? a.as_int() != b.as_int() : a.as_double() != b.as_double());
-      case BinOp::LAnd: return Value(a.truthy() && b.truthy());
-      case BinOp::LOr: return Value(a.truthy() || b.truthy());
-      case BinOp::BAnd: return Value(a.as_int() & b.as_int());
-      case BinOp::BOr: return Value(a.as_int() | b.as_int());
-      case BinOp::BXor: return Value(a.as_int() ^ b.as_int());
-      case BinOp::Shl: return Value(a.as_int() << b.as_int());
-      case BinOp::Shr: return Value(a.as_int() >> b.as_int());
-    }
-    throw NotLinear{"unhandled exact binop"};
+    if (auto r = analysis::exact_bin(op, a, b)) return *r;
+    throw NotLinear{std::string("constant '") + ir::to_string(op) +
+                    "' has no defined value"};
   }
 
   static Value exact_un(UnOp op, const Value& a) {
-    switch (op) {
-      case UnOp::Neg: return a.is_int() ? Value(-a.as_int()) : Value(-a.as_double());
-      case UnOp::LNot: return Value(!a.truthy());
-      case UnOp::BNot: return Value(~a.as_int());
-      case UnOp::Sin: return Value(std::sin(a.as_double()));
-      case UnOp::Cos: return Value(std::cos(a.as_double()));
-      case UnOp::Tan: return Value(std::tan(a.as_double()));
-      case UnOp::Exp: return Value(std::exp(a.as_double()));
-      case UnOp::Log: return Value(std::log(a.as_double()));
-      case UnOp::Sqrt: return Value(std::sqrt(a.as_double()));
-      case UnOp::Abs: return a.is_int() ? Value(std::abs(a.as_int())) : Value(std::fabs(a.as_double()));
-      case UnOp::Floor: return Value(std::floor(a.as_double()));
-      case UnOp::Ceil: return Value(std::ceil(a.as_double()));
-      case UnOp::Round: return Value(std::round(a.as_double()));
-      case UnOp::ToInt: return Value(a.as_int());
-      case UnOp::ToFloat: return Value(a.as_double());
-    }
-    throw NotLinear{"unhandled exact unop"};
+    if (auto r = analysis::exact_un(op, a)) return *r;
+    throw NotLinear{std::string("constant '") + ir::to_string(op) +
+                    "' has no defined value"};
   }
 
   const ir::FilterSpec& spec_;
+  StmtP work_;
   runtime::FilterState state_;
   std::set<std::string> state_names_;
   std::unordered_map<std::string, AbsVal> locals_;
@@ -352,7 +312,7 @@ bool stmt_writes_state(const StmtP& s, const std::set<std::string>& names) {
 
 }  // namespace
 
-ExtractResult extract(const ir::FilterSpec& spec) {
+ExtractResult extract(const ir::FilterSpec& spec, const ExtractOptions& opts) {
   ExtractResult r;
   if (!spec.work) {
     r.reason = "no work function";
@@ -365,8 +325,12 @@ ExtractResult extract(const ir::FilterSpec& spec) {
     r.reason = "sink filters are not linear-combination candidates";
     return r;
   }
+  StmtP work = spec.work;
+  if (opts.fold_constants) {
+    work = analysis::fold_body(spec.work, spec.name + "/work").body;
+  }
   try {
-    Extractor ex(spec);
+    Extractor ex(spec, std::move(work));
     r.rep = ex.run();
   } catch (const NotLinear& nl) {
     r.reason = nl.reason;
@@ -374,6 +338,10 @@ ExtractResult extract(const ir::FilterSpec& spec) {
     r.reason = e.what();
   }
   return r;
+}
+
+ExtractResult extract(const ir::FilterSpec& spec) {
+  return extract(spec, ExtractOptions{});
 }
 
 bool writes_state(const ir::FilterSpec& spec) {

@@ -28,7 +28,18 @@ struct ExtractResult {
   std::string reason;            // why extraction failed (diagnostic)
 };
 
-ExtractResult extract(const ir::FilterSpec& spec);
+struct ExtractOptions {
+  // Run the analysis constant-folding pass over the work function first.
+  // Folding collapses statically-decided control flow (constant ?: arms,
+  // short-circuit `true || e` / `false && e`) that the abstract interpreter
+  // would otherwise reject as data-dependent, so strictly more filters are
+  // detected linear.  The abstract Exact domain and the folder share one
+  // arithmetic implementation (analysis/const_eval.h).
+  bool fold_constants{true};
+};
+
+ExtractResult extract(const ir::FilterSpec& spec, const ExtractOptions& opts);
+ExtractResult extract(const ir::FilterSpec& spec);  // default options
 
 // True if the work function assigns any declared state variable (scalar or
 // array element).  Independent of linearity: a filter can be nonlinear yet

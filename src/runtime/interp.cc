@@ -1,5 +1,6 @@
 #include "runtime/interp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -15,6 +16,8 @@ using ir::Value;
 
 namespace {
 
+bool g_debug_channel_checks = false;
+
 // Execution context for one invocation (work, init, or a handler).
 struct Ctx {
   FilterState* state{nullptr};
@@ -24,6 +27,7 @@ struct Ctx {
   OpCounts* counts{nullptr};
   const MessageSink* sink{nullptr};
   const ir::FilterSpec* spec{nullptr};
+  std::int64_t pops{0};  // pops so far this invocation (debug bounds check)
 
   void count_bin(const Value& r, BinOp op) {
     if (!counts) return;
@@ -196,12 +200,23 @@ Value eval(const ExprP& e, Ctx& ctx) {
     case Expr::Kind::Peek: {
       if (!ctx.in) throw std::runtime_error("peek outside work function");
       const auto off = eval(e->a, ctx).as_int();
+      if (g_debug_channel_checks && ctx.spec) {
+        const std::int64_t window = std::max(ctx.spec->peek, ctx.spec->pop);
+        if (off < 0 || ctx.pops + off >= window) {
+          throw std::runtime_error(
+              "peek out of bounds in '" + ctx.spec->name + "': peek(" +
+              std::to_string(off) + ") after " + std::to_string(ctx.pops) +
+              " pop(s) exceeds the declared window of " +
+              std::to_string(window));
+        }
+      }
       if (ctx.counts) ++ctx.counts->channel;
       return Value(ctx.in->peek_item(static_cast<int>(off)));
     }
     case Expr::Kind::Pop: {
       if (!ctx.in) throw std::runtime_error("pop outside work function");
       if (ctx.counts) ++ctx.counts->channel;
+      ++ctx.pops;
       return Value(ctx.in->pop_item());
     }
     case Expr::Kind::Bin: {
@@ -278,6 +293,7 @@ void exec(const StmtP& s, Ctx& ctx) {
       const auto n = eval(s->index, ctx).as_int();
       for (std::int64_t i = 0; i < n; ++i) {
         if (ctx.counts) ++ctx.counts->channel;
+        ++ctx.pops;
         ctx.in->pop_item();
       }
       break;
@@ -319,6 +335,9 @@ void exec(const StmtP& s, Ctx& ctx) {
 }
 
 }  // namespace
+
+void set_debug_channel_checks(bool enabled) { g_debug_channel_checks = enabled; }
+bool debug_channel_checks() { return g_debug_channel_checks; }
 
 FilterState Interp::init_state(const ir::FilterSpec& spec) {
   FilterState st;

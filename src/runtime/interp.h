@@ -37,6 +37,14 @@ struct SentMessage {
 
 using MessageSink = std::function<void(const SentMessage&)>;
 
+// Debug-mode channel checking.  When enabled, every peek during work
+// execution asserts 0 <= pops_so_far + offset < max(peek, pop) against the
+// filter's declared rates and throws std::runtime_error on violation --
+// the dynamic counterpart of the static bounds pass (analysis/intervals).
+// Off by default: the check costs a branch per channel op.
+void set_debug_channel_checks(bool enabled);
+bool debug_channel_checks();
+
 class Interp {
  public:
   // Declare state variables and run the filter's init function.

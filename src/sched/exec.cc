@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "ir/validate.h"
+#include "analysis/analyze.h"
 
 namespace sit::sched {
 
@@ -37,7 +37,9 @@ NullOut g_null_out;
 
 Executor::Executor(ir::NodeP root, ExecOptions opts)
     : root_(std::move(root)), opts_(std::move(opts)) {
-  ir::check_or_throw(root_);
+  // Full static-analysis gate: structural validation plus the dataflow and
+  // graph-level passes.  Errors throw; warnings are tolerated.
+  analysis::check_or_throw(root_);
   g_ = runtime::flatten(root_);
   sched_ = make_schedule(g_);
 

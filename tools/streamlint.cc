@@ -1,0 +1,246 @@
+// streamlint -- run the full static-analysis suite over stream programs.
+//
+// With no arguments every built-in program (the benchmark suite plus the
+// example graphs) is linted; names select a subset.  --demo builds one of
+// the deliberately-broken programs so the failure modes of each pass can be
+// demonstrated (and regression-tested: the exit code is nonzero whenever
+// any linted program has an error diagnostic).
+//
+//   streamlint                    lint everything
+//   streamlint DCT FMRadio        lint two benchmarks
+//   streamlint --list             show available program names
+//   streamlint --demo bad-peek    lint a program with an out-of-window peek
+//
+// Exit status: 0 clean (warnings allowed), 1 errors found, 2 usage.
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "apps/apps.h"
+#include "apps/common.h"
+#include "apps/radio.h"
+#include "ir/dsl.h"
+#include "ir/graph.h"
+
+namespace {
+
+using namespace sit;           // NOLINT
+using namespace sit::ir::dsl;  // NOLINT
+
+struct Program {
+  std::string name;
+  std::function<ir::NodeP()> make;
+};
+
+// The example binaries' graphs, reconstructed so the linter covers them.
+ir::NodeP make_quickstart_graph() {
+  ir::NodeP equalizer = ir::make_splitjoin(
+      "equalizer", ir::duplicate_split(), ir::roundrobin_join({1, 1}),
+      {apps::bandpass_fir("band_lo", 16, 0.02, 0.12),
+       apps::bandpass_fir("band_hi", 16, 0.12, 0.24)});
+  return ir::make_pipeline("MiniRadio", {apps::lowpass_fir("lowpass", 16, 0.25),
+                                         equalizer, apps::adder("sum", 2)});
+}
+
+std::vector<Program> all_programs() {
+  std::vector<Program> ps;
+  for (const auto& a : apps::all_apps()) {
+    ps.push_back({a.name, a.make});
+  }
+  ps.push_back({"example:quickstart", make_quickstart_graph});
+  ps.push_back(
+      {"example:freq-hop-radio", [] { return apps::make_freq_hop_radio().graph; }});
+  return ps;
+}
+
+// ---- deliberately-broken programs (--demo) ----------------------------------
+
+ir::NodeP wrap(ir::NodeP mid, int pop_rate) {
+  return ir::make_pipeline("demo", {apps::rand_source("src"), std::move(mid),
+                                    apps::null_sink("sink", pop_rate)});
+}
+
+// Peeks past the declared window: the interval pass rejects peek(5) against
+// a window of max(peek, pop) = 2.
+ir::NodeP make_bad_peek() {
+  auto f = filter("wideReader")
+               .rates(2, 2, 1)
+               .work(seq({push_(peek_(ci(0)) + peek_(ci(5))), discard(2)}))
+               .node();
+  return wrap(std::move(f), 1);
+}
+
+// Reads a local that no path assigns: the interpreter would throw
+// "undefined variable" on the first firing.
+ir::NodeP make_bad_state() {
+  auto f = filter("useBeforeDef")
+               .rates(1, 1, 1)
+               .work(seq({push_(v("acc") + pop_())}))
+               .node();
+  return wrap(std::move(f), 1);
+}
+
+// Duplicate splitter feeding a 1->1 and a 1->2 branch into a rr{1,1}
+// joiner: the balance equations have no positive solution.
+ir::NodeP make_bad_rates() {
+  auto doubler = filter("doubler")
+                     .rates(1, 1, 2)
+                     .work(seq({let("x", pop_()), push_(v("x")), push_(v("x"))}))
+                     .node();
+  auto sj = ir::make_splitjoin("mismatch", ir::duplicate_split(),
+                               ir::roundrobin_join({1, 1}),
+                               {ir::dsl::identity("thru"), std::move(doubler)});
+  return wrap(std::move(sj), 1);
+}
+
+// Feedback loop with delay 0: the joiner needs an item from the back edge
+// before anything has ever been produced, so initialization cannot start.
+ir::NodeP make_bad_feedback() {
+  auto loop = ir::make_feedback("starved", ir::roundrobin_join({1, 1}),
+                                ir::dsl::identity("body"),
+                                ir::roundrobin_split({1, 1}),
+                                apps::gain("decay", 0.5), /*delay=*/0,
+                                /*init_path=*/{});
+  return wrap(std::move(loop), 1);
+}
+
+// Integer division by a constant zero, found by constant propagation.
+ir::NodeP make_bad_divzero() {
+  auto f = filter("divZero")
+               .rates(1, 1, 1)
+               .work(seq({let("n", ci(4) - ci(4)),
+                          push_(pop_() / to_float(ci(12) % v("n")))}))
+               .node();
+  return wrap(std::move(f), 1);
+}
+
+// Peek offset computed from channel data: the window cannot be verified
+// statically, which the structural validator now reports instead of
+// silently assuming a window of zero.
+ir::NodeP make_bad_dynamic_peek() {
+  auto f = filter("dataPeek")
+               .rates(2, 2, 1)
+               .work(seq({push_(peek_(to_int(pop_()))), discard(1)}))
+               .node();
+  return wrap(std::move(f), 1);
+}
+
+std::vector<Program> demo_programs() {
+  return {
+      {"bad-peek", make_bad_peek},
+      {"bad-state", make_bad_state},
+      {"bad-rates", make_bad_rates},
+      {"bad-feedback", make_bad_feedback},
+      {"bad-divzero", make_bad_divzero},
+      {"bad-dynamic-peek", make_bad_dynamic_peek},
+  };
+}
+
+// ---- driver -----------------------------------------------------------------
+
+int lint(const Program& p, bool verbose) {
+  analysis::AnalysisResult r;
+  try {
+    r = analysis::analyze(p.make());
+  } catch (const std::exception& e) {
+    std::printf("FAIL  %s\n    internal error: %s\n", p.name.c_str(), e.what());
+    return 1;
+  }
+  const std::size_t errors = r.errors();
+  const std::size_t warnings = r.diagnostics.size() - errors;
+  if (errors == 0 && (warnings == 0 || !verbose)) {
+    std::printf("ok    %s", p.name.c_str());
+    if (warnings > 0) std::printf("  (%zu warning%s)", warnings, warnings == 1 ? "" : "s");
+    std::printf("\n");
+    return 0;
+  }
+  std::printf("%s  %s\n", errors > 0 ? "FAIL" : "warn", p.name.c_str());
+  std::printf("%s", r.report().c_str());
+  return errors > 0 ? 1 : 0;
+}
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: streamlint [--verbose] [--list] [--demo NAME] [NAME...]\n"
+               "  --verbose   print warning diagnostics for clean programs\n"
+               "  --list      list lintable program names and exit\n"
+               "  --demo      lint a deliberately-broken demo program\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  std::vector<std::string> selected;
+  std::vector<std::string> demos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--list") {
+      for (const auto& p : all_programs()) std::printf("%s\n", p.name.c_str());
+      for (const auto& p : demo_programs()) std::printf("%s (demo)\n", p.name.c_str());
+      return 0;
+    } else if (arg == "--demo") {
+      if (i + 1 >= argc) {
+        usage(stderr);
+        return 2;
+      }
+      demos.emplace_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      selected.push_back(arg);
+    }
+  }
+
+  std::vector<Program> run;
+  const std::vector<Program> progs = all_programs();
+  const std::vector<Program> dps = demo_programs();
+  if (demos.empty() && selected.empty()) {
+    run = progs;
+  }
+  for (const auto& name : selected) {
+    bool found = false;
+    for (const auto& p : progs) {
+      if (p.name == name) {
+        run.push_back(p);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown program '%s' (try --list)\n", name.c_str());
+      return 2;
+    }
+  }
+  for (const auto& name : demos) {
+    bool found = false;
+    for (const auto& p : dps) {
+      if (p.name == name) {
+        run.push_back(p);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown demo '%s' (try --list)\n", name.c_str());
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  for (const auto& p : run) failures += lint(p, verbose);
+  if (run.size() > 1) {
+    std::printf("%zu program%s linted, %d with errors\n", run.size(),
+                run.size() == 1 ? "" : "s", failures);
+  }
+  return failures > 0 ? 1 : 0;
+}

@@ -3,7 +3,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/apps.h"
@@ -11,6 +13,44 @@
 #include "parallel/strategies.h"
 
 namespace sit::bench {
+
+// ---- machine-readable results -----------------------------------------------
+//
+// Each bench binary may drop a BENCH_<name>.json next to its stdout tables so
+// CI and the experiment scripts can diff numbers without scraping text.  The
+// format is deliberately flat: one record per measured configuration, all
+// metric values doubles.
+
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline bool write_bench_json(const std::string& path, const std::string& bench,
+                             const std::vector<BenchRecord>& records) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    f << "    {\"name\": \"" << json_escape(records[i].name) << "\"";
+    for (const auto& [k, v] : records[i].metrics) {
+      f << ", \"" << json_escape(k) << "\": " << v;
+    }
+    f << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+  return static_cast<bool>(f);
+}
 
 inline double geomean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;

@@ -24,8 +24,9 @@ void collect_sends(const ir::StmtP& s,
 
 }  // namespace
 
-MessagingExecutor::MessagingExecutor(ir::NodeP root) {
+MessagingExecutor::MessagingExecutor(ir::NodeP root, sched::Engine engine) {
   sched::ExecOptions opts;
+  opts.engine = engine;
   opts.message_sink = [this](const runtime::SentMessage& m) {
     if (current_actor_ < 0) return;
     on_send(current_actor_, m);
@@ -144,9 +145,7 @@ void MessagingExecutor::deliver_due_before(int actor) {
       ex_->firings()[static_cast<std::size_t>(actor)] + 1;
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->receiver == actor && it->before && it->firing <= next) {
-      const auto& spec = g.actors[static_cast<std::size_t>(actor)].node->filter;
-      runtime::Interp::run_handler(spec, ex_->filter_state(actor), it->method,
-                                   it->args);
+      ex_->run_handler(actor, it->method, it->args);
       ++stats_.delivered;
       stats_.deliveries.push_back(
           {it->portal, it->method, g.actors[static_cast<std::size_t>(actor)].name,
@@ -163,9 +162,7 @@ void MessagingExecutor::deliver_due_after(int actor) {
   const std::int64_t done = ex_->firings()[static_cast<std::size_t>(actor)];
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->receiver == actor && !it->before && it->firing <= done) {
-      const auto& spec = g.actors[static_cast<std::size_t>(actor)].node->filter;
-      runtime::Interp::run_handler(spec, ex_->filter_state(actor), it->method,
-                                   it->args);
+      ex_->run_handler(actor, it->method, it->args);
       ++stats_.delivered;
       stats_.deliveries.push_back(
           {it->portal, it->method, g.actors[static_cast<std::size_t>(actor)].name,

@@ -44,7 +44,11 @@ struct MessagingStats {
 
 class MessagingExecutor {
  public:
-  explicit MessagingExecutor(ir::NodeP root);
+  // `engine` picks the work-function engine for the underlying executor
+  // (Auto = SIT_ENGINE env var, defaulting to the bytecode VM).  Handlers
+  // always run through the tree interpreter on the shared filter state.
+  explicit MessagingExecutor(ir::NodeP root,
+                             sched::Engine engine = sched::Engine::Auto);
 
   // Register `receiver_filter` (leaf filter name) on a portal.
   void register_receiver(const std::string& portal,

@@ -9,7 +9,9 @@
 
 #include "linear/cost.h"
 #include "linear/extract.h"
+#include "runtime/compile.h"
 #include "runtime/interp.h"
+#include "runtime/vm.h"
 #include "sched/exec.h"
 
 namespace sit::parallel {
@@ -152,6 +154,10 @@ class ReplicaState final : public ir::NativeState {
  public:
   runtime::FilterState fst;
   std::unique_ptr<ir::NativeState> nst;
+  // Lazily created per replica instance: the shared compiled program bound
+  // to *this* fst.  Never cloned -- a clone's binding must resolve against
+  // the clone's own state storage.
+  std::unique_ptr<runtime::VmBound> vmb;
 
   std::unique_ptr<ir::NativeState> clone() const override {
     auto c = std::make_unique<ReplicaState>();
@@ -202,13 +208,27 @@ NodeP make_replica(const NodeP& leaf, int k, int idx) {
   };
   const int offset = idx * pop;
   const int stride = k * pop;
-  nf.work = [proto, offset, stride](ir::NativeState* state, ir::InTape& in,
-                                    ir::OutTape& out) {
+  // Lower the prototype's work function to bytecode once per replica kind;
+  // every firing of every replica instance then skips the tree walk.
+  runtime::CompiledFilterP compiled;
+  if (proto->kind == Node::Kind::Filter &&
+      sched::resolve_engine(sched::Engine::Auto) == sched::Engine::Vm) {
+    compiled = runtime::compile_filter(proto->filter);
+  }
+  nf.work = [proto, compiled, offset, stride](ir::NativeState* state,
+                                              ir::InTape& in, ir::OutTape& out) {
     auto* rs = dynamic_cast<ReplicaState*>(state);
     if (rs == nullptr) throw std::logic_error("replica state mismatch");
     OffsetIn shifted(in, offset);
     if (proto->kind == Node::Kind::Filter) {
-      runtime::Interp::run_work(proto->filter, rs->fst, shifted, out, nullptr);
+      if (compiled) {
+        if (!rs->vmb) {
+          rs->vmb = std::make_unique<runtime::VmBound>(compiled, rs->fst);
+        }
+        rs->vmb->run_work(shifted, out, nullptr);
+      } else {
+        runtime::Interp::run_work(proto->filter, rs->fst, shifted, out, nullptr);
+      }
     } else {
       proto->native.work(rs->nst.get(), shifted, out);
     }

@@ -1,0 +1,118 @@
+#pragma once
+// Scalar operator kernels shared by the tree interpreter and the bytecode VM.
+//
+// Both engines must agree bit-for-bit on StreamIt's Java-like promotion
+// rules (int op int stays integral, any float operand promotes), so the
+// arithmetic lives here exactly once.  These are pure value functions;
+// operation *counting* stays engine-side because the tree walker and the VM
+// attach costs at different points.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ir/ast.h"
+#include "ir/value.h"
+
+namespace sit::runtime {
+
+inline ir::Value apply_bin(ir::BinOp op, const ir::Value& a, const ir::Value& b) {
+  using ir::BinOp;
+  using ir::Value;
+  const bool ints = a.is_int() && b.is_int();
+  switch (op) {
+    case BinOp::Add:
+      return ints ? Value(a.as_int() + b.as_int()) : Value(a.as_double() + b.as_double());
+    case BinOp::Sub:
+      return ints ? Value(a.as_int() - b.as_int()) : Value(a.as_double() - b.as_double());
+    case BinOp::Mul:
+      return ints ? Value(a.as_int() * b.as_int()) : Value(a.as_double() * b.as_double());
+    case BinOp::Div:
+      if (ints) {
+        if (b.as_int() == 0) throw std::runtime_error("integer division by zero");
+        return Value(a.as_int() / b.as_int());
+      }
+      return Value(a.as_double() / b.as_double());
+    case BinOp::Mod:
+      if (ints) {
+        if (b.as_int() == 0) throw std::runtime_error("integer modulo by zero");
+        return Value(a.as_int() % b.as_int());
+      }
+      return Value(std::fmod(a.as_double(), b.as_double()));
+    case BinOp::Min:
+      return ints ? Value(std::min(a.as_int(), b.as_int()))
+                  : Value(std::min(a.as_double(), b.as_double()));
+    case BinOp::Max:
+      return ints ? Value(std::max(a.as_int(), b.as_int()))
+                  : Value(std::max(a.as_double(), b.as_double()));
+    case BinOp::Pow:
+      return Value(std::pow(a.as_double(), b.as_double()));
+    case BinOp::Lt:
+      return Value(ints ? a.as_int() < b.as_int() : a.as_double() < b.as_double());
+    case BinOp::Le:
+      return Value(ints ? a.as_int() <= b.as_int() : a.as_double() <= b.as_double());
+    case BinOp::Gt:
+      return Value(ints ? a.as_int() > b.as_int() : a.as_double() > b.as_double());
+    case BinOp::Ge:
+      return Value(ints ? a.as_int() >= b.as_int() : a.as_double() >= b.as_double());
+    case BinOp::Eq:
+      return Value(ints ? a.as_int() == b.as_int() : a.as_double() == b.as_double());
+    case BinOp::Ne:
+      return Value(ints ? a.as_int() != b.as_int() : a.as_double() != b.as_double());
+    case BinOp::LAnd:
+      return Value(a.truthy() && b.truthy());
+    case BinOp::LOr:
+      return Value(a.truthy() || b.truthy());
+    case BinOp::BAnd:
+      return Value(a.as_int() & b.as_int());
+    case BinOp::BOr:
+      return Value(a.as_int() | b.as_int());
+    case BinOp::BXor:
+      return Value(a.as_int() ^ b.as_int());
+    case BinOp::Shl:
+      return Value(a.as_int() << b.as_int());
+    case BinOp::Shr:
+      return Value(a.as_int() >> b.as_int());
+  }
+  throw std::runtime_error("unhandled binop");
+}
+
+inline ir::Value apply_un(ir::UnOp op, const ir::Value& a) {
+  using ir::UnOp;
+  using ir::Value;
+  switch (op) {
+    case UnOp::Neg:
+      return a.is_int() ? Value(-a.as_int()) : Value(-a.as_double());
+    case UnOp::LNot:
+      return Value(!a.truthy());
+    case UnOp::BNot:
+      return Value(~a.as_int());
+    case UnOp::Sin:
+      return Value(std::sin(a.as_double()));
+    case UnOp::Cos:
+      return Value(std::cos(a.as_double()));
+    case UnOp::Tan:
+      return Value(std::tan(a.as_double()));
+    case UnOp::Exp:
+      return Value(std::exp(a.as_double()));
+    case UnOp::Log:
+      return Value(std::log(a.as_double()));
+    case UnOp::Sqrt:
+      return Value(std::sqrt(a.as_double()));
+    case UnOp::Abs:
+      return a.is_int() ? Value(std::abs(a.as_int())) : Value(std::fabs(a.as_double()));
+    case UnOp::Floor:
+      return Value(std::floor(a.as_double()));
+    case UnOp::Ceil:
+      return Value(std::ceil(a.as_double()));
+    case UnOp::Round:
+      return Value(std::round(a.as_double()));
+    case UnOp::ToInt:
+      return Value(a.as_int());
+    case UnOp::ToFloat:
+      return Value(a.as_double());
+  }
+  throw std::runtime_error("unhandled unop");
+}
+
+}  // namespace sit::runtime

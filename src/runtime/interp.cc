@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/eval_ops.h"
+
 namespace sit::runtime {
 
 using ir::BinOp;
@@ -71,112 +73,36 @@ std::vector<Value>& array_of(const std::string& name, Ctx& ctx) {
   return it->second;
 }
 
-Value apply_bin(BinOp op, const Value& a, const Value& b) {
-  const bool ints = a.is_int() && b.is_int();
-  switch (op) {
-    case BinOp::Add:
-      return ints ? Value(a.as_int() + b.as_int()) : Value(a.as_double() + b.as_double());
-    case BinOp::Sub:
-      return ints ? Value(a.as_int() - b.as_int()) : Value(a.as_double() - b.as_double());
-    case BinOp::Mul:
-      return ints ? Value(a.as_int() * b.as_int()) : Value(a.as_double() * b.as_double());
-    case BinOp::Div:
-      if (ints) {
-        if (b.as_int() == 0) throw std::runtime_error("integer division by zero");
-        return Value(a.as_int() / b.as_int());
-      }
-      return Value(a.as_double() / b.as_double());
-    case BinOp::Mod:
-      if (ints) {
-        if (b.as_int() == 0) throw std::runtime_error("integer modulo by zero");
-        return Value(a.as_int() % b.as_int());
-      }
-      return Value(std::fmod(a.as_double(), b.as_double()));
-    case BinOp::Min:
-      return ints ? Value(std::min(a.as_int(), b.as_int()))
-                  : Value(std::min(a.as_double(), b.as_double()));
-    case BinOp::Max:
-      return ints ? Value(std::max(a.as_int(), b.as_int()))
-                  : Value(std::max(a.as_double(), b.as_double()));
-    case BinOp::Pow:
-      return Value(std::pow(a.as_double(), b.as_double()));
-    case BinOp::Lt:
-      return Value(ints ? a.as_int() < b.as_int() : a.as_double() < b.as_double());
-    case BinOp::Le:
-      return Value(ints ? a.as_int() <= b.as_int() : a.as_double() <= b.as_double());
-    case BinOp::Gt:
-      return Value(ints ? a.as_int() > b.as_int() : a.as_double() > b.as_double());
-    case BinOp::Ge:
-      return Value(ints ? a.as_int() >= b.as_int() : a.as_double() >= b.as_double());
-    case BinOp::Eq:
-      return Value(ints ? a.as_int() == b.as_int() : a.as_double() == b.as_double());
-    case BinOp::Ne:
-      return Value(ints ? a.as_int() != b.as_int() : a.as_double() != b.as_double());
-    case BinOp::LAnd:
-      return Value(a.truthy() && b.truthy());
-    case BinOp::LOr:
-      return Value(a.truthy() || b.truthy());
-    case BinOp::BAnd:
-      return Value(a.as_int() & b.as_int());
-    case BinOp::BOr:
-      return Value(a.as_int() | b.as_int());
-    case BinOp::BXor:
-      return Value(a.as_int() ^ b.as_int());
-    case BinOp::Shl:
-      return Value(a.as_int() << b.as_int());
-    case BinOp::Shr:
-      return Value(a.as_int() >> b.as_int());
-  }
-  throw std::runtime_error("unhandled binop");
-}
+// apply_bin / apply_un live in runtime/eval_ops.h, shared with the VM.
 
-Value apply_un(UnOp op, const Value& a, Ctx& ctx) {
+void count_un(UnOp op, const Value& a, Ctx& ctx) {
+  if (!ctx.counts) return;
   switch (op) {
     case UnOp::Neg:
-      if (ctx.counts) a.is_int() ? ++ctx.counts->int_ops : ++ctx.counts->flops;
-      return a.is_int() ? Value(-a.as_int()) : Value(-a.as_double());
-    case UnOp::LNot:
-      if (ctx.counts) ++ctx.counts->int_ops;
-      return Value(!a.truthy());
-    case UnOp::BNot:
-      if (ctx.counts) ++ctx.counts->int_ops;
-      return Value(~a.as_int());
-    case UnOp::Sin:
-      if (ctx.counts) ++ctx.counts->trans;
-      return Value(std::sin(a.as_double()));
-    case UnOp::Cos:
-      if (ctx.counts) ++ctx.counts->trans;
-      return Value(std::cos(a.as_double()));
-    case UnOp::Tan:
-      if (ctx.counts) ++ctx.counts->trans;
-      return Value(std::tan(a.as_double()));
-    case UnOp::Exp:
-      if (ctx.counts) ++ctx.counts->trans;
-      return Value(std::exp(a.as_double()));
-    case UnOp::Log:
-      if (ctx.counts) ++ctx.counts->trans;
-      return Value(std::log(a.as_double()));
-    case UnOp::Sqrt:
-      if (ctx.counts) ++ctx.counts->trans;
-      return Value(std::sqrt(a.as_double()));
     case UnOp::Abs:
-      if (ctx.counts) a.is_int() ? ++ctx.counts->int_ops : ++ctx.counts->flops;
-      return a.is_int() ? Value(std::abs(a.as_int())) : Value(std::fabs(a.as_double()));
+      a.is_int() ? ++ctx.counts->int_ops : ++ctx.counts->flops;
+      break;
+    case UnOp::LNot:
+    case UnOp::BNot:
+      ++ctx.counts->int_ops;
+      break;
+    case UnOp::Sin:
+    case UnOp::Cos:
+    case UnOp::Tan:
+    case UnOp::Exp:
+    case UnOp::Log:
+    case UnOp::Sqrt:
+      ++ctx.counts->trans;
+      break;
     case UnOp::Floor:
-      if (ctx.counts) ++ctx.counts->flops;
-      return Value(std::floor(a.as_double()));
     case UnOp::Ceil:
-      if (ctx.counts) ++ctx.counts->flops;
-      return Value(std::ceil(a.as_double()));
     case UnOp::Round:
-      if (ctx.counts) ++ctx.counts->flops;
-      return Value(std::round(a.as_double()));
+      ++ctx.counts->flops;
+      break;
     case UnOp::ToInt:
-      return Value(a.as_int());
     case UnOp::ToFloat:
-      return Value(a.as_double());
+      break;
   }
-  throw std::runtime_error("unhandled unop");
 }
 
 Value eval(const ExprP& e, Ctx& ctx) {
@@ -237,8 +163,11 @@ Value eval(const ExprP& e, Ctx& ctx) {
       ctx.count_bin(r, e->bop);
       return r;
     }
-    case Expr::Kind::Un:
-      return apply_un(e->uop, eval(e->a, ctx), ctx);
+    case Expr::Kind::Un: {
+      const Value a = eval(e->a, ctx);
+      count_un(e->uop, a, ctx);
+      return apply_un(e->uop, a);
+    }
     case Expr::Kind::Cond: {
       if (ctx.counts) ++ctx.counts->int_ops;
       return eval(e->a, ctx).truthy() ? eval(e->b, ctx) : eval(e->c, ctx);
@@ -339,7 +268,7 @@ void exec(const StmtP& s, Ctx& ctx) {
 void set_debug_channel_checks(bool enabled) { g_debug_channel_checks = enabled; }
 bool debug_channel_checks() { return g_debug_channel_checks; }
 
-FilterState Interp::init_state(const ir::FilterSpec& spec) {
+FilterState Interp::declare_state(const ir::FilterSpec& spec) {
   FilterState st;
   for (const auto& d : spec.state) {
     if (d.is_array) {
@@ -355,12 +284,20 @@ FilterState Interp::init_state(const ir::FilterSpec& spec) {
       st.scalars[d.name] = v;
     }
   }
-  if (spec.init) {
-    Ctx ctx;
-    ctx.state = &st;
-    ctx.spec = &spec;
-    exec(spec.init, ctx);
-  }
+  return st;
+}
+
+void Interp::run_init(const ir::FilterSpec& spec, FilterState& state) {
+  if (!spec.init) return;
+  Ctx ctx;
+  ctx.state = &state;
+  ctx.spec = &spec;
+  exec(spec.init, ctx);
+}
+
+FilterState Interp::init_state(const ir::FilterSpec& spec) {
+  FilterState st = declare_state(spec);
+  run_init(spec, st);
   return st;
 }
 

@@ -1,0 +1,322 @@
+#include "runtime/vm.h"
+
+#include <stdexcept>
+
+#include "runtime/eval_ops.h"
+
+namespace sit::runtime {
+
+using ir::BinOp;
+using ir::UnOp;
+using ir::Value;
+
+VmBound::VmBound(CompiledFilterP prog, FilterState& state)
+    : prog_(std::move(prog)) {
+  scalars_.reserve(prog_->scalar_slots.size());
+  for (const auto& name : prog_->scalar_slots) {
+    auto it = state.scalars.find(name);
+    if (it == state.scalars.end()) {
+      throw std::logic_error("VM bind: state has no scalar '" + name + "'");
+    }
+    scalars_.push_back(&it->second);
+  }
+  arrays_.reserve(prog_->array_slots.size());
+  for (const auto& name : prog_->array_slots) {
+    auto it = state.arrays.find(name);
+    if (it == state.arrays.end()) {
+      throw std::logic_error("VM bind: state has no array '" + name + "'");
+    }
+    arrays_.push_back(&it->second);
+  }
+  std::size_t n = prog_->work.reg_init.size();
+  if (prog_->has_init) n = std::max(n, prog_->init.reg_init.size());
+  regs_.resize(n);
+}
+
+namespace {
+
+[[noreturn]] void peek_bounds_error(const std::string& name, std::int64_t off,
+                                    std::int64_t pops, std::int64_t window) {
+  throw std::runtime_error(
+      "peek out of bounds in '" + name + "': peek(" + std::to_string(off) +
+      ") after " + std::to_string(pops) +
+      " pop(s) exceeds the declared window of " + std::to_string(window));
+}
+
+[[noreturn]] void elem_bounds_error(const char* what, const std::string& name,
+                                    std::int64_t idx) {
+  throw std::runtime_error(std::string(what) + ": " + name + "[" +
+                           std::to_string(idx) + "]");
+}
+
+}  // namespace
+
+template <bool kCount>
+void VmBound::run_program(const CompiledProgram& p, ir::InTape* in,
+                          ir::OutTape* out, OpCounts* counts,
+                          const MessageSink* sink) {
+  Value* const regs = regs_.data();
+  std::copy(p.reg_init.begin(), p.reg_init.end(), regs);
+  const VmInstr* const code = p.code.data();
+  const bool debug = debug_channel_checks();
+  std::int64_t pops = 0;
+  std::int32_t pc = 0;
+
+  // Resolved at compile time where the type is static; ByResult tests the
+  // runtime tag, mirroring the tree interpreter's count_bin/count_un.
+  const auto tally = [&](CountTag tag, const Value& r) {
+    if constexpr (kCount) {
+      switch (tag) {
+        case CountTag::None: break;
+        case CountTag::IntOp: ++counts->int_ops; break;
+        case CountTag::Flop: ++counts->flops; break;
+        case CountTag::Div: ++counts->divs; break;
+        case CountTag::Trans: ++counts->trans; break;
+        case CountTag::Mem: ++counts->mem; break;
+        case CountTag::Channel: ++counts->channel; break;
+        case CountTag::ByResult:
+          r.is_int() ? ++counts->int_ops : ++counts->flops;
+          break;
+      }
+    } else {
+      (void)tag;
+      (void)r;
+    }
+  };
+
+  for (;;) {
+    const VmInstr& I = code[pc];
+    switch (I.op) {
+      case VmOp::Move:
+        regs[I.dst] = regs[I.a];
+        ++pc;
+        break;
+      case VmOp::LoadScalar:
+        if constexpr (kCount) ++counts->mem;
+        regs[I.dst] = *scalars_[I.a];
+        ++pc;
+        break;
+      case VmOp::StoreScalar:
+        if constexpr (kCount) ++counts->mem;
+        *scalars_[I.a] = regs[I.dst];
+        ++pc;
+        break;
+      case VmOp::LoadElem: {
+        const std::int64_t idx = regs[I.b].as_int();
+        const auto& arr = *arrays_[I.a];
+        if (idx < 0 || static_cast<std::size_t>(idx) >= arr.size()) {
+          elem_bounds_error("array index out of bounds",
+                            prog_->array_slots[I.a], idx);
+        }
+        if constexpr (kCount) ++counts->mem;
+        regs[I.dst] = arr[static_cast<std::size_t>(idx)];
+        ++pc;
+        break;
+      }
+      case VmOp::StoreElem: {
+        const std::int64_t idx = regs[I.b].as_int();
+        auto& arr = *arrays_[I.a];
+        if (idx < 0 || static_cast<std::size_t>(idx) >= arr.size()) {
+          elem_bounds_error("array store out of bounds",
+                            prog_->array_slots[I.a], idx);
+        }
+        if constexpr (kCount) ++counts->mem;
+        arr[static_cast<std::size_t>(idx)] = regs[I.dst];
+        ++pc;
+        break;
+      }
+      case VmOp::Peek: {
+        if (!in) throw std::runtime_error("peek outside work function");
+        const std::int64_t off = regs[I.a].as_int();
+        if (debug) {
+          if (off < 0 || pops + off >= prog_->peek_window) {
+            peek_bounds_error(prog_->name, off, pops, prog_->peek_window);
+          }
+        }
+        if constexpr (kCount) ++counts->channel;
+        regs[I.dst] = Value(in->peek_item(static_cast<int>(off)));
+        ++pc;
+        break;
+      }
+      case VmOp::Pop:
+        if (!in) throw std::runtime_error("pop outside work function");
+        if constexpr (kCount) ++counts->channel;
+        ++pops;
+        regs[I.dst] = Value(in->pop_item());
+        ++pc;
+        break;
+      case VmOp::PopN: {
+        if (!in) throw std::runtime_error("pop outside work function");
+        const std::int64_t n = regs[I.a].as_int();
+        for (std::int64_t i = 0; i < n; ++i) {
+          if constexpr (kCount) ++counts->channel;
+          ++pops;
+          in->pop_item();
+        }
+        ++pc;
+        break;
+      }
+      case VmOp::Push:
+        if (!out) throw std::runtime_error("push outside work function");
+        if constexpr (kCount) ++counts->channel;
+        out->push_item(regs[I.dst].as_double());
+        ++pc;
+        break;
+      case VmOp::Bin: {
+        const Value r =
+            apply_bin(static_cast<BinOp>(I.sub), regs[I.a], regs[I.b]);
+        tally(I.count, r);
+        regs[I.dst] = r;
+        ++pc;
+        break;
+      }
+      case VmOp::Un: {
+        // Neg/Abs count by *operand* type in the tree interpreter; operand
+        // and result tags coincide for both, so ByResult on the input is
+        // equivalent.
+        tally(I.count, regs[I.a]);
+        regs[I.dst] = apply_un(static_cast<UnOp>(I.sub), regs[I.a]);
+        ++pc;
+        break;
+      }
+      case VmOp::Truthy:
+        regs[I.dst] = Value(regs[I.a].truthy());
+        ++pc;
+        break;
+      case VmOp::Jmp:
+        pc = I.jump;
+        break;
+      case VmOp::JmpIfFalse:
+        pc = regs[I.a].truthy() ? pc + 1 : I.jump;
+        break;
+      case VmOp::JmpIfTrue:
+        pc = regs[I.a].truthy() ? I.jump : pc + 1;
+        break;
+      case VmOp::JmpIfGe:
+        pc = regs[I.a].as_int() >= regs[I.b].as_int() ? I.jump : pc + 1;
+        break;
+      case VmOp::CheckStep:
+        if (regs[I.a].as_int() <= 0) {
+          throw std::runtime_error("for loop step must be positive");
+        }
+        ++pc;
+        break;
+      case VmOp::ForInc:
+        regs[I.dst] = Value(regs[I.dst].as_int() + regs[I.a].as_int());
+        ++pc;
+        break;
+      case VmOp::Tally:
+        if constexpr (kCount) counts->int_ops += I.sub;
+        ++pc;
+        break;
+      case VmOp::Send: {
+        if (sink && *sink) {
+          const SendSite& s = p.sends[I.a];
+          SentMessage m;
+          m.portal = s.portal;
+          m.method = s.method;
+          m.lat_min = s.lat_min;
+          m.lat_max = s.lat_max;
+          m.args.reserve(s.arg_regs.size());
+          for (const std::uint16_t r : s.arg_regs) m.args.push_back(regs[r]);
+          (*sink)(m);
+        }
+        ++pc;
+        break;
+      }
+      case VmOp::Halt:
+        return;
+    }
+  }
+}
+
+void VmBound::run_work(ir::InTape& in, ir::OutTape& out, OpCounts* counts,
+                       const MessageSink* sink) {
+  if (counts) {
+    run_program<true>(prog_->work, &in, &out, counts, sink);
+  } else {
+    run_program<false>(prog_->work, &in, &out, nullptr, sink);
+  }
+}
+
+void VmBound::run_init() {
+  if (!prog_->has_init) return;
+  run_program<false>(prog_->init, nullptr, nullptr, nullptr, nullptr);
+}
+
+FilterState Vm::init_state(const ir::FilterSpec& spec,
+                           const CompiledFilter& prog) {
+  FilterState st = Interp::declare_state(spec);
+  if (prog.has_init) {
+    VmBound bound(std::make_shared<const CompiledFilter>(prog), st);
+    bound.run_init();
+  } else {
+    Interp::run_init(spec, st);
+  }
+  return st;
+}
+
+void Vm::run_work(const CompiledFilterP& prog, FilterState& state,
+                  ir::InTape& in, ir::OutTape& out, OpCounts* counts,
+                  const MessageSink* sink) {
+  VmBound bound(prog, state);
+  bound.run_work(in, out, counts, sink);
+}
+
+// ---- disassembly ------------------------------------------------------------
+
+namespace {
+
+const char* op_name(VmOp op) {
+  switch (op) {
+    case VmOp::Move: return "move";
+    case VmOp::LoadScalar: return "ld.s";
+    case VmOp::StoreScalar: return "st.s";
+    case VmOp::LoadElem: return "ld.e";
+    case VmOp::StoreElem: return "st.e";
+    case VmOp::Peek: return "peek";
+    case VmOp::Pop: return "pop";
+    case VmOp::PopN: return "popn";
+    case VmOp::Push: return "push";
+    case VmOp::Bin: return "bin";
+    case VmOp::Un: return "un";
+    case VmOp::Truthy: return "truthy";
+    case VmOp::Jmp: return "jmp";
+    case VmOp::JmpIfFalse: return "jf";
+    case VmOp::JmpIfTrue: return "jt";
+    case VmOp::JmpIfGe: return "jge";
+    case VmOp::CheckStep: return "chkstep";
+    case VmOp::ForInc: return "forinc";
+    case VmOp::Tally: return "tally";
+    case VmOp::Send: return "send";
+    case VmOp::Halt: return "halt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string disassemble(const CompiledProgram& p) {
+  std::string out;
+  for (std::size_t i = 0; i < p.code.size(); ++i) {
+    const VmInstr& I = p.code[i];
+    out += std::to_string(i) + ": " + op_name(I.op);
+    switch (I.op) {
+      case VmOp::Bin:
+        out += " " + std::string(ir::to_string(static_cast<BinOp>(I.sub)));
+        break;
+      case VmOp::Un:
+        out += " " + std::string(ir::to_string(static_cast<UnOp>(I.sub)));
+        break;
+      default:
+        break;
+    }
+    out += " dst=r" + std::to_string(I.dst) + " a=" + std::to_string(I.a) +
+           " b=" + std::to_string(I.b);
+    if (I.jump >= 0) out += " ->" + std::to_string(I.jump);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sit::runtime

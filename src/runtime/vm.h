@@ -1,0 +1,152 @@
+#pragma once
+// Bytecode work-function engine.
+//
+// The tree interpreter (interp.h) re-resolves every variable name through an
+// unordered_map and chases shared_ptr AST nodes on every firing.  This engine
+// removes that steady-state overhead: compile.h lowers a filter's work/init
+// ASTs *once* to a flat register bytecode (every scalar, array, and local
+// resolved to an integer slot; constants pooled and preloaded; peek/pop/push
+// as dedicated opcodes), and the dispatch loop below executes it with zero
+// string hashing per firing.  Semantics are bit-identical to the tree
+// interpreter by construction -- both engines share the scalar kernels in
+// eval_ops.h, and tests/test_vm.cc holds them equal differentially.
+//
+// Register file layout (per program): [locals | pooled constants | loop
+// bookkeeping | expression temporaries].  The template `reg_init` is copied
+// in at entry, which both preloads constants and resets locals.
+//
+// Operation counting: every instruction carries a CountTag resolved at
+// compile time (mem, channel, div, ...), so tallying is a single add; only
+// ops whose int/float classification depends on runtime value tags
+// (Add/Sub/Mul/Min/Max/Neg/Abs) carry ByResult and test one tag bit.  A
+// null OpCounts selects a dispatch loop with counting compiled out.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/filter.h"
+#include "ir/value.h"
+#include "runtime/interp.h"
+#include "runtime/opcounts.h"
+
+namespace sit::runtime {
+
+enum class VmOp : std::uint8_t {
+  Move,         // r[dst] = r[a]
+  LoadScalar,   // r[dst] = state scalar slot a
+  StoreScalar,  // state scalar slot a = r[dst]
+  LoadElem,     // r[dst] = array slot a [ r[b] ]   (bounds-checked)
+  StoreElem,    // array slot a [ r[b] ] = r[dst]   (bounds-checked)
+  Peek,         // r[dst] = in.peek(r[a])
+  Pop,          // r[dst] = in.pop()
+  PopN,         // discard r[a] items
+  Push,         // out.push(r[dst])
+  Bin,          // r[dst] = <BinOp sub>(r[a], r[b])
+  Un,           // r[dst] = <UnOp sub>(r[a])
+  Truthy,       // r[dst] = Value(r[a] is truthy)   (bool as int, no count)
+  Jmp,          // pc = jump
+  JmpIfFalse,   // if (!r[a].truthy()) pc = jump
+  JmpIfTrue,    // if (r[a].truthy())  pc = jump
+  JmpIfGe,      // if (r[a].as_int() >= r[b].as_int()) pc = jump  (loop test)
+  CheckStep,    // throw unless r[a].as_int() > 0   (for-loop step guard)
+  ForInc,       // r[dst] = int(r[dst] + r[a])      (loop induction, no count)
+  Tally,        // counts->int_ops += sub           (If/Cond/LAnd/LOr/For costs)
+  Send,         // emit SendSite a with args from its recorded registers
+  Halt,
+};
+
+// Which OpCounts field an instruction bumps; fixed at compile time except
+// ByResult (int_ops vs flops decided by the result's runtime tag, exactly
+// like the tree interpreter's count_bin / count_un).
+enum class CountTag : std::uint8_t {
+  None, IntOp, Flop, Div, Trans, Mem, Channel, ByResult,
+};
+
+struct VmInstr {
+  VmOp op{VmOp::Halt};
+  std::uint8_t sub{0};  // BinOp/UnOp ordinal, or Tally amount
+  CountTag count{CountTag::None};
+  std::uint16_t dst{0}, a{0}, b{0};
+  std::int32_t jump{-1};
+};
+
+// One Send statement: the message skeleton plus the registers its
+// already-evaluated arguments live in.
+struct SendSite {
+  std::string portal, method;
+  int lat_min{0}, lat_max{0};
+  std::vector<std::uint16_t> arg_regs;
+};
+
+struct CompiledProgram {
+  std::vector<VmInstr> code;
+  std::vector<ir::Value> reg_init;  // register template: locals zeroed, consts pooled
+  std::vector<SendSite> sends;
+};
+
+struct CompiledFilter {
+  std::string name;
+  std::int64_t peek_window{0};  // max(peek, pop): debug channel-check bound
+  std::vector<std::string> scalar_slots;  // slot -> state scalar name
+  std::vector<std::string> array_slots;   // slot -> state array name
+  CompiledProgram work;
+  bool has_init{false};
+  CompiledProgram init;
+};
+
+using CompiledFilterP = std::shared_ptr<const CompiledFilter>;
+
+// A compiled filter bound to one FilterState's storage.  Binding resolves
+// state slots to raw pointers into the state's maps once, so firings do no
+// hashing at all.  The tree interpreter and message handlers mutate the very
+// same storage, which keeps the engines freely mixable on one state (a
+// handler delivered between VM firings is visible to the next firing).
+//
+// The FilterState must outlive the binding, must not be moved, and must not
+// gain or lose entries -- all true for states made by Interp::declare_state
+// and then only mutated through either engine.
+class VmBound {
+ public:
+  VmBound(CompiledFilterP prog, FilterState& state);
+
+  // One invocation of work.  `counts` may be null (counting is skipped
+  // entirely); `sink` receives Send messages as in the tree interpreter.
+  void run_work(ir::InTape& in, ir::OutTape& out, OpCounts* counts,
+                const MessageSink* sink = nullptr);
+
+  // Run the compiled init function (no tapes; init may not touch channels).
+  void run_init();
+
+  [[nodiscard]] const CompiledFilter& program() const { return *prog_; }
+
+ private:
+  template <bool kCount>
+  void run_program(const CompiledProgram& p, ir::InTape* in, ir::OutTape* out,
+                   OpCounts* counts, const MessageSink* sink);
+
+  CompiledFilterP prog_;
+  std::vector<ir::Value*> scalars_;              // slot -> &state.scalars[name]
+  std::vector<std::vector<ir::Value>*> arrays_;  // slot -> &state.arrays[name]
+  std::vector<ir::Value> regs_;                  // scratch register file
+};
+
+class Vm {
+ public:
+  // Declare state variables and run the *compiled* init function; the
+  // bytecode twin of Interp::init_state.
+  static FilterState init_state(const ir::FilterSpec& spec,
+                                const CompiledFilter& prog);
+
+  // One-shot work invocation (binds on each call; prefer a persistent
+  // VmBound on hot paths).
+  static void run_work(const CompiledFilterP& prog, FilterState& state,
+                       ir::InTape& in, ir::OutTape& out, OpCounts* counts,
+                       const MessageSink* sink = nullptr);
+};
+
+// Human-readable disassembly, for debugging and the bytecode docs.
+std::string disassemble(const CompiledProgram& p);
+
+}  // namespace sit::runtime

@@ -1,8 +1,11 @@
 #include "sched/exec.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "analysis/analyze.h"
+#include "runtime/compile.h"
 
 namespace sit::sched {
 
@@ -35,6 +38,13 @@ NullOut g_null_out;
 
 }  // namespace
 
+Engine resolve_engine(Engine e) {
+  if (e != Engine::Auto) return e;
+  const char* env = std::getenv("SIT_ENGINE");
+  if (env != nullptr && std::strcmp(env, "tree") == 0) return Engine::Tree;
+  return Engine::Vm;
+}
+
 Executor::Executor(ir::NodeP root, ExecOptions opts)
     : root_(std::move(root)), opts_(std::move(opts)) {
   // Full static-analysis gate: structural validation plus the dataflow and
@@ -50,15 +60,33 @@ Executor::Executor(ir::NodeP root, ExecOptions opts)
     chans_.push_back(std::move(ch));
   }
 
+  engine_ = resolve_engine(opts_.engine);
+
   const std::size_t n = g_.actors.size();
   fstate_.resize(n);
   nstate_.resize(n);
+  vmf_.resize(n);
   ops_.resize(n);
   fired_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const FlatActor& a = g_.actors[i];
     if (a.kind == FlatActor::Kind::Filter) {
-      fstate_[i] = Interp::init_state(a.node->filter);
+      const ir::FilterSpec& spec = a.node->filter;
+      if (engine_ == Engine::Vm) {
+        // One-time lowering to bytecode; per-filter fallback to the tree
+        // interpreter for anything outside the compiled subset.
+        if (auto prog = runtime::compile_filter(spec)) {
+          fstate_[i] = Interp::declare_state(spec);
+          vmf_[i] = std::make_unique<runtime::VmBound>(prog, fstate_[i]);
+          if (prog->has_init) {
+            vmf_[i]->run_init();
+          } else {
+            Interp::run_init(spec, fstate_[i]);
+          }
+          continue;
+        }
+      }
+      fstate_[i] = Interp::init_state(spec);
     } else if (a.kind == FlatActor::Kind::Native) {
       if (a.node->native.make_state) nstate_[i] = a.node->native.make_state();
     }
@@ -115,8 +143,13 @@ void Executor::fire(int actor) {
       if (!a.out_edges.empty() && a.out_edges[0] >= 0) {
         out = chans_[static_cast<std::size_t>(a.out_edges[0])].get();
       }
-      Interp::run_work(a.node->filter, fstate_[ai], *in, *out, counts,
-                       opts_.message_sink ? &opts_.message_sink : nullptr);
+      const runtime::MessageSink* sink =
+          opts_.message_sink ? &opts_.message_sink : nullptr;
+      if (vmf_[ai]) {
+        vmf_[ai]->run_work(*in, *out, counts, sink);
+      } else {
+        Interp::run_work(a.node->filter, fstate_[ai], *in, *out, counts, sink);
+      }
       break;
     }
     case FlatActor::Kind::Native: {
@@ -173,6 +206,17 @@ void Executor::fire(int actor) {
   }
   ++fired_[ai];
   for (const auto& ch : chans_) ch->note_high_water();
+}
+
+void Executor::run_handler(int actor, const std::string& method,
+                           const std::vector<ir::Value>& args) {
+  const auto ai = static_cast<std::size_t>(actor);
+  const FlatActor& a = g_.actors[ai];
+  if (a.kind != FlatActor::Kind::Filter) {
+    throw std::invalid_argument("handler target '" + a.name +
+                                "' is not an AST filter");
+  }
+  Interp::run_handler(a.node->filter, fstate_[ai], method, args);
 }
 
 void Executor::run_epoch(const std::vector<std::int64_t>& quota_in) {

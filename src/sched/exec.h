@@ -20,12 +20,25 @@
 #include "runtime/channel.h"
 #include "runtime/flatgraph.h"
 #include "runtime/interp.h"
+#include "runtime/vm.h"
 #include "sched/schedule.h"
 
 namespace sit::sched {
 
+// Which work-function engine drives AST filters.  Vm compiles each filter's
+// work/init to bytecode once and falls back to the tree interpreter
+// *per filter* for anything outside the bytecode subset; Tree forces the
+// tree interpreter everywhere.  Auto resolves from the SIT_ENGINE
+// environment variable ("tree" or "vm"), defaulting to Vm -- which lets CI
+// run the whole test suite under either engine without code changes.
+enum class Engine { Auto, Tree, Vm };
+
+// Resolve Auto against SIT_ENGINE (other values pass through).
+Engine resolve_engine(Engine e);
+
 struct ExecOptions {
   bool count_ops{true};
+  Engine engine{Engine::Auto};
   // Receives teleport messages emitted by Send statements; delivery policy is
   // the msg module's job (the plain executor only forwards).
   runtime::MessageSink message_sink;
@@ -55,6 +68,21 @@ class Executor {
   // --- fine-grained control (sdep / messaging) -----------------------------
   [[nodiscard]] bool can_fire(int actor) const;
   void fire(int actor);
+
+  // Invoke a teleport-message handler on an AST filter actor.  Handlers run
+  // through the tree interpreter; both engines share the actor's
+  // FilterState storage, so a handler delivered between VM firings is
+  // visible to the next firing.
+  void run_handler(int actor, const std::string& method,
+                   const std::vector<ir::Value>& args);
+
+  // The engine actually driving this graph (Auto already resolved), and
+  // whether a given AST filter actor runs on compiled bytecode.
+  [[nodiscard]] Engine engine() const { return engine_; }
+  [[nodiscard]] bool actor_uses_vm(int actor) const {
+    return vmf_[static_cast<std::size_t>(actor)] != nullptr;
+  }
+
   [[nodiscard]] const std::vector<std::int64_t>& firings() const { return fired_; }
   [[nodiscard]] runtime::Channel& channel(int edge_id) {
     return *chans_[static_cast<std::size_t>(edge_id)];
@@ -80,8 +108,13 @@ class Executor {
   ExecOptions opts_;
   runtime::FlatGraph g_;
   Schedule sched_;
+  Engine engine_{Engine::Vm};
   std::vector<std::unique_ptr<runtime::Channel>> chans_;
   std::vector<runtime::FilterState> fstate_;
+  // Per-actor compiled work functions bound to fstate_ storage; null where
+  // the actor is not an AST filter or its work fell back to the tree
+  // interpreter.  fstate_ entries must therefore never be reseated.
+  std::vector<std::unique_ptr<runtime::VmBound>> vmf_;
   std::vector<std::unique_ptr<ir::NativeState>> nstate_;
   std::vector<runtime::OpCounts> ops_;
   std::vector<std::int64_t> fired_;

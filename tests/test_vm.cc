@@ -1,0 +1,568 @@
+// Differential tests: the bytecode VM must be observationally identical to
+// the tree interpreter.  Every built-in application and a population of
+// randomized work functions run under both engines; outputs, filter state,
+// operation counts, cumulative channel counters, and sent messages are held
+// bit-equal.  Also covers the ring-buffer channel itself and the per-filter
+// fallback path for filters outside the compiled subset.
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "ir/dsl.h"
+#include "runtime/channel.h"
+#include "runtime/compile.h"
+#include "runtime/interp.h"
+#include "runtime/vm.h"
+#include "sched/exec.h"
+
+namespace sit {
+namespace {
+
+using namespace ir::dsl;  // NOLINT
+using ir::Value;
+using runtime::Channel;
+using runtime::FilterState;
+using runtime::Interp;
+using runtime::OpCounts;
+using runtime::SentMessage;
+
+// ---- comparison helpers -----------------------------------------------------
+
+// Bit-level double equality: NaN == NaN, and +0.0 != -0.0.  The two engines
+// share the scalar kernels in eval_ops.h, so even NaN payloads must agree.
+bool same_bits(double a, double b) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof a);
+  std::memcpy(&bb, &b, sizeof b);
+  return ba == bb;
+}
+
+void expect_same_doubles(const std::vector<double>& a,
+                         const std::vector<double>& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(same_bits(a[i], b[i]))
+        << what << " item " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+void expect_same_value(const Value& a, const Value& b, const std::string& what) {
+  ASSERT_EQ(a.is_int(), b.is_int()) << what << " tag mismatch";
+  if (a.is_int()) {
+    ASSERT_EQ(a.as_int(), b.as_int()) << what;
+  } else {
+    ASSERT_TRUE(same_bits(a.as_double(), b.as_double()))
+        << what << ": " << a.as_double() << " vs " << b.as_double();
+  }
+}
+
+void expect_same_state(const FilterState& a, const FilterState& b,
+                       const std::string& who) {
+  ASSERT_EQ(a.scalars.size(), b.scalars.size()) << who;
+  for (const auto& [name, va] : a.scalars) {
+    auto it = b.scalars.find(name);
+    ASSERT_NE(it, b.scalars.end()) << who << " scalar " << name;
+    expect_same_value(va, it->second, who + "." + name);
+  }
+  ASSERT_EQ(a.arrays.size(), b.arrays.size()) << who;
+  for (const auto& [name, va] : a.arrays) {
+    auto it = b.arrays.find(name);
+    ASSERT_NE(it, b.arrays.end()) << who << " array " << name;
+    ASSERT_EQ(va.size(), it->second.size()) << who << "." << name;
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      expect_same_value(va[i], it->second[i],
+                        who + "." + name + "[" + std::to_string(i) + "]");
+    }
+  }
+}
+
+void expect_same_counts(const OpCounts& a, const OpCounts& b,
+                        const std::string& who) {
+  EXPECT_EQ(a.int_ops, b.int_ops) << who << " int_ops";
+  EXPECT_EQ(a.flops, b.flops) << who << " flops";
+  EXPECT_EQ(a.divs, b.divs) << who << " divs";
+  EXPECT_EQ(a.trans, b.trans) << who << " trans";
+  EXPECT_EQ(a.mem, b.mem) << who << " mem";
+  EXPECT_EQ(a.channel, b.channel) << who << " channel";
+}
+
+// ---- whole-application differential -----------------------------------------
+
+// Run every built-in app under both engines and hold all observables equal:
+// program output (bitwise), per-actor firing tallies and OpCounts, the
+// cumulative n(t)/p(t) counters of every channel, and the final state of
+// every AST filter.
+TEST(VmDifferential, AllAppsMatchTreeInterpreter) {
+  for (const auto& info : apps::all_apps()) {
+    SCOPED_TRACE(info.name);
+    sched::ExecOptions topt;
+    topt.engine = sched::Engine::Tree;
+    sched::Executor tree(info.make(), topt);
+    sched::ExecOptions vopt;
+    vopt.engine = sched::Engine::Vm;
+    sched::Executor vm(info.make(), vopt);
+
+    ASSERT_EQ(tree.engine(), sched::Engine::Tree);
+    ASSERT_EQ(vm.engine(), sched::Engine::Vm);
+
+    const auto tout = tree.run_steady(2);
+    const auto vout = vm.run_steady(2);
+    expect_same_doubles(tout, vout, info.name + " output");
+
+    const auto& g = tree.graph();
+    ASSERT_EQ(g.actors.size(), vm.graph().actors.size());
+    EXPECT_EQ(tree.firings(), vm.firings()) << info.name;
+    for (std::size_t a = 0; a < g.actors.size(); ++a) {
+      expect_same_counts(tree.actor_ops()[a], vm.actor_ops()[a],
+                         info.name + "/" + g.actors[a].name);
+      if (g.actors[a].kind == runtime::FlatActor::Kind::Filter) {
+        expect_same_state(tree.filter_state(static_cast<int>(a)),
+                          vm.filter_state(static_cast<int>(a)),
+                          info.name + "/" + g.actors[a].name);
+      }
+    }
+    for (std::size_t e = 0; e < g.edges.size(); ++e) {
+      const int ei = static_cast<int>(e);
+      EXPECT_EQ(tree.channel(ei).total_pushed(), vm.channel(ei).total_pushed())
+          << info.name << " edge " << e;
+      EXPECT_EQ(tree.channel(ei).total_popped(), vm.channel(ei).total_popped())
+          << info.name << " edge " << e;
+    }
+  }
+}
+
+// The point of the engine: the hot filters of the evaluation apps must
+// actually run on bytecode, not silently fall back.
+TEST(VmDifferential, EvaluationAppFiltersCompile) {
+  for (const std::string name : {"FIR", "Vocoder", "FMRadio", "FilterBank"}) {
+    SCOPED_TRACE(name);
+    sched::ExecOptions opt;
+    opt.engine = sched::Engine::Vm;
+    sched::Executor ex(apps::make_app(name), opt);
+    int compiled = 0, filters = 0;
+    const auto& g = ex.graph();
+    for (std::size_t a = 0; a < g.actors.size(); ++a) {
+      if (g.actors[a].kind != runtime::FlatActor::Kind::Filter) continue;
+      ++filters;
+      if (ex.actor_uses_vm(static_cast<int>(a))) ++compiled;
+    }
+    ASSERT_GT(filters, 0);
+    EXPECT_EQ(compiled, filters) << name << ": some filters fell back";
+  }
+}
+
+// ---- randomized work functions ----------------------------------------------
+
+// Grammar-directed random AST generator over the compiled subset: state
+// scalars (one float, one int), a state array, invocation locals, peeks,
+// arithmetic and comparisons, conditionals and for loops.  Division and
+// shifts are excluded so no input can throw or hit UB; everything else is
+// fair game.  Fixed seeds keep failures reproducible.
+class AstGen {
+ public:
+  explicit AstGen(std::uint32_t seed) : g_(seed) {}
+
+  ir::FilterSpec make_spec(int idx) {
+    const int peekw = 3, popn = 2, pushn = 2;
+    auto b = filter("rand" + std::to_string(idx))
+                 .rates(peekw, popn, pushn)
+                 .scalar("fs", Value{0.5})
+                 .iscalar("ks", 3)
+                 .array("arr", 4);
+    std::vector<ir::StmtP> body;
+    locals_.clear();
+    const int stmts = irange(2, 5);
+    for (int i = 0; i < stmts; ++i) body.push_back(rand_stmt(2));
+    for (int i = 0; i < pushn; ++i) body.push_back(push_(E(rand_expr(3))));
+    body.push_back(discard(popn));
+    return b.work(std::move(body)).build();
+  }
+
+ private:
+  int irange(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(g_);
+  }
+  double dval() {
+    return std::uniform_real_distribution<double>(-2.0, 2.0)(g_);
+  }
+
+  ir::ExprP rand_expr(int depth) {
+    if (depth <= 0 || irange(0, 3) == 0) {
+      switch (irange(0, 5)) {
+        case 0: return ir::iconst(irange(-3, 7));
+        case 1: return ir::fconst(dval());
+        case 2: return ir::peek(ir::iconst(irange(0, 2)));
+        case 3: return ir::var(irange(0, 1) ? "fs" : "ks");
+        case 4: return ir::aref("arr", ir::iconst(irange(0, 3)));
+        default:
+          if (!locals_.empty()) return ir::var(locals_[static_cast<std::size_t>(
+              irange(0, static_cast<int>(locals_.size()) - 1))]);
+          return ir::iconst(irange(0, 9));
+      }
+    }
+    switch (irange(0, 9)) {
+      case 0: return ir::bin(ir::BinOp::Add, rand_expr(depth - 1), rand_expr(depth - 1));
+      case 1: return ir::bin(ir::BinOp::Sub, rand_expr(depth - 1), rand_expr(depth - 1));
+      case 2: return ir::bin(ir::BinOp::Mul, rand_expr(depth - 1), rand_expr(depth - 1));
+      case 3: return ir::bin(ir::BinOp::Min, rand_expr(depth - 1), rand_expr(depth - 1));
+      case 4: return ir::bin(ir::BinOp::Max, rand_expr(depth - 1), rand_expr(depth - 1));
+      case 5: return ir::bin(ir::BinOp::Lt, rand_expr(depth - 1), rand_expr(depth - 1));
+      case 6: return ir::bin(irange(0, 1) ? ir::BinOp::LAnd : ir::BinOp::LOr,
+                             rand_expr(depth - 1), rand_expr(depth - 1));
+      case 7: {
+        const auto u = std::vector<ir::UnOp>{ir::UnOp::Neg, ir::UnOp::Abs,
+                                             ir::UnOp::Sin, ir::UnOp::Cos,
+                                             ir::UnOp::Floor, ir::UnOp::ToInt,
+                                             ir::UnOp::ToFloat};
+        return ir::un(u[static_cast<std::size_t>(irange(0, 6))], rand_expr(depth - 1));
+      }
+      case 8: return ir::cond(rand_expr(depth - 1), rand_expr(depth - 1),
+                              rand_expr(depth - 1));
+      default: return ir::bin(ir::BinOp::Add, rand_expr(depth - 1),
+                              rand_expr(depth - 1));
+    }
+  }
+
+  ir::StmtP rand_stmt(int depth) {
+    switch (irange(0, depth > 0 ? 5 : 3)) {
+      case 0: {
+        const std::string name = "t" + std::to_string(locals_.size());
+        auto s = ir::assign(name, rand_expr(2));
+        locals_.push_back(name);
+        return s;
+      }
+      case 1: return ir::assign(irange(0, 1) ? "fs" : "ks", rand_expr(2));
+      case 2:
+        return ir::array_assign("arr", ir::iconst(irange(0, 3)), rand_expr(2));
+      case 3:
+        // Loop over the state array; loop bounds are part of the compiled
+        // subset's happy path, the body mutates state each iteration.
+        return for_("i", 0, irange(1, 4),
+                    ir::array_assign("arr", ir::var("i"),
+                                     ir::bin(ir::BinOp::Add,
+                                             ir::aref("arr", ir::var("i")),
+                                             rand_expr(1))));
+      case 4: {
+        // If with a then-only branch: anything assigned inside is
+        // deliberately NOT read afterwards (locals_ snapshot restored).
+        const auto snap = locals_.size();
+        auto s = ir::if_then(rand_expr(2), rand_stmt(depth - 1));
+        locals_.resize(snap);
+        return s;
+      }
+      default: {
+        const auto snap = locals_.size();
+        auto s = ir::if_else(rand_expr(2), rand_stmt(depth - 1),
+                             rand_stmt(depth - 1));
+        locals_.resize(snap);
+        return s;
+      }
+    }
+  }
+
+  std::mt19937 g_;
+  std::vector<std::string> locals_;
+};
+
+TEST(VmDifferential, RandomizedWorkFunctions) {
+  int compiled = 0;
+  for (std::uint32_t seed = 1; seed <= 40; ++seed) {
+    AstGen gen(seed * 7919);
+    const ir::FilterSpec spec = gen.make_spec(static_cast<int>(seed));
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    std::string reason;
+    auto prog = runtime::compile_filter(spec, &reason);
+    if (!prog) continue;  // conservatively rejected shapes fall back; fine
+    ++compiled;
+
+    FilterState tst = Interp::init_state(spec);
+    FilterState vst = runtime::Vm::init_state(spec, *prog);
+    expect_same_state(tst, vst, spec.name + " init");
+
+    Channel tin, vin, tout, vout;
+    std::mt19937 feed(seed);
+    std::uniform_real_distribution<double> d(-4.0, 4.0);
+    for (int i = 0; i < 64; ++i) {
+      const double x = d(feed);
+      tin.push_item(x);
+      vin.push_item(x);
+    }
+
+    OpCounts tc, vc;
+    runtime::VmBound bound(prog, vst);
+    for (int fire = 0; fire < 20; ++fire) {
+      Interp::run_work(spec, tst, tin, tout, &tc);
+      bound.run_work(vin, vout, &vc);
+    }
+    expect_same_counts(tc, vc, spec.name);
+    expect_same_state(tst, vst, spec.name + " final");
+    std::vector<double> to, vo;
+    while (!tout.empty()) to.push_back(tout.pop_item());
+    while (!vout.empty()) vo.push_back(vout.pop_item());
+    expect_same_doubles(to, vo, spec.name + " output");
+    EXPECT_EQ(tin.total_popped(), vin.total_popped());
+  }
+  // The generator stays inside the compiled subset by construction; if the
+  // compiler starts rejecting most of them, the subset regressed.
+  EXPECT_GE(compiled, 30);
+}
+
+// ---- engine parity corner cases ---------------------------------------------
+
+// Messages: Send arguments, latency bounds, and ordering must match, and the
+// VM must skip SentMessage construction without a sink (not observable here,
+// but the sink path is).
+TEST(VmDifferential, SendMessagesMatch) {
+  auto spec = filter("sender")
+                  .rates(1, 1, 1)
+                  .iscalar("n", 0)
+                  .work({let("x", pop_()),
+                         ir::send("portal", "setGain", {(v("x") * c(2.0)).e,
+                                                        v("n").e}, 1, 3),
+                         let("n", v("n") + 1), push_(v("x"))})
+                  .build();
+  auto prog = runtime::compile_filter(spec);
+  ASSERT_NE(prog, nullptr);
+
+  std::vector<SentMessage> tmsg, vmsg;
+  runtime::MessageSink tsink = [&](const SentMessage& m) { tmsg.push_back(m); };
+  runtime::MessageSink vsink = [&](const SentMessage& m) { vmsg.push_back(m); };
+
+  FilterState tst = Interp::init_state(spec);
+  FilterState vst = runtime::Vm::init_state(spec, *prog);
+  Channel tin, vin, tout, vout;
+  for (int i = 0; i < 5; ++i) {
+    tin.push_item(i + 0.25);
+    vin.push_item(i + 0.25);
+  }
+  for (int i = 0; i < 5; ++i) {
+    Interp::run_work(spec, tst, tin, tout, nullptr, &tsink);
+    runtime::Vm::run_work(prog, vst, vin, vout, nullptr, &vsink);
+  }
+  ASSERT_EQ(tmsg.size(), vmsg.size());
+  for (std::size_t i = 0; i < tmsg.size(); ++i) {
+    EXPECT_EQ(tmsg[i].portal, vmsg[i].portal);
+    EXPECT_EQ(tmsg[i].method, vmsg[i].method);
+    EXPECT_EQ(tmsg[i].lat_min, vmsg[i].lat_min);
+    EXPECT_EQ(tmsg[i].lat_max, vmsg[i].lat_max);
+    ASSERT_EQ(tmsg[i].args.size(), vmsg[i].args.size());
+    for (std::size_t j = 0; j < tmsg[i].args.size(); ++j) {
+      expect_same_value(tmsg[i].args[j], vmsg[i].args[j], "msg arg");
+    }
+  }
+}
+
+// A handler delivered between VM firings mutates the same storage the
+// bytecode reads: the next firing must see the new state.
+TEST(VmDifferential, HandlerStateSharedWithVm) {
+  auto spec = filter("gainer")
+                  .rates(1, 1, 1)
+                  .scalar("gain", Value{1.0})
+                  .work({push_(pop_() * v("gain"))})
+                  .handler("setGain", {"g"}, let("gain", v("g")))
+                  .build();
+  auto prog = runtime::compile_filter(spec);
+  ASSERT_NE(prog, nullptr);
+
+  FilterState st = runtime::Vm::init_state(spec, *prog);
+  runtime::VmBound bound(prog, st);
+  Channel in, out;
+  in.push_item(2.0);
+  in.push_item(2.0);
+  bound.run_work(in, out, nullptr);
+  EXPECT_EQ(out.pop_item(), 2.0);
+  Interp::run_handler(spec, st, "setGain", {Value{10.0}});
+  bound.run_work(in, out, nullptr);
+  EXPECT_EQ(out.pop_item(), 20.0);
+}
+
+// Out-of-subset work functions (here: a read of a possibly-unassigned
+// local) must be rejected by the compiler with a reason, and the executor
+// must transparently run them on the tree interpreter.
+TEST(VmDifferential, FallbackForUncompilableFilter) {
+  auto fb = filter("partial")
+                .rates(1, 1, 1)
+                .work({let("x", pop_()),
+                       if_(v("x") > c(0.0), let("y", v("x") * c(2.0))),
+                       // `y` is unassigned when x <= 0: the tree throws at
+                       // runtime iff that path runs, so the compiler must
+                       // refuse rather than guess.
+                       push_(sel(v("x") > c(0.0), v("y"), v("x")))});
+  std::string reason;
+  EXPECT_EQ(runtime::compile_filter(fb.build(), &reason), nullptr);
+  EXPECT_FALSE(reason.empty());
+
+  auto make = [&] {
+    auto src = filter("src").rates(0, 0, 1).iscalar("n", 0)
+                   .work({let("n", v("n") + 1), push_(v("n") - 3)}).node();
+    auto snk = filter("snk").rates(1, 1, 0).scalar("sum", Value{0.0})
+                   .work({let("sum", v("sum") + pop_())}).node();
+    return ir::make_pipeline("p", {src, fb.node(), snk});
+  };
+  sched::ExecOptions vopt;
+  vopt.engine = sched::Engine::Vm;
+  sched::Executor vm(make(), vopt);
+  const auto& g = vm.graph();
+  bool found = false;
+  for (std::size_t a = 0; a < g.actors.size(); ++a) {
+    if (g.actors[a].name.find("partial") == std::string::npos) continue;
+    found = true;
+    EXPECT_FALSE(vm.actor_uses_vm(static_cast<int>(a)));
+  }
+  ASSERT_TRUE(found);
+
+  sched::ExecOptions topt;
+  topt.engine = sched::Engine::Tree;
+  sched::Executor tree(make(), topt);
+  tree.run_steady(4);
+  vm.run_steady(4);
+  for (std::size_t a = 0; a < g.actors.size(); ++a) {
+    if (g.actors[a].kind != runtime::FlatActor::Kind::Filter) continue;
+    expect_same_state(tree.filter_state(static_cast<int>(a)),
+                      vm.filter_state(static_cast<int>(a)), g.actors[a].name);
+  }
+}
+
+// Debug-mode channel checking must fire identically under the VM, with the
+// same diagnostic.
+TEST(VmDifferential, DebugChannelChecksUnderVm) {
+  // peek(5) with a declared window of max(2, 1) = 2.
+  auto spec = filter("overpeek")
+                  .rates(2, 1, 1)
+                  .work({push_(peek_(5)), discard(1)})
+                  .build();
+  auto prog = runtime::compile_filter(spec);
+  ASSERT_NE(prog, nullptr);
+
+  runtime::set_debug_channel_checks(true);
+  struct Restore {
+    ~Restore() { runtime::set_debug_channel_checks(false); }
+  } restore;
+
+  Channel tin, vin, tout, vout;
+  for (int i = 0; i < 8; ++i) {
+    tin.push_item(i);
+    vin.push_item(i);
+  }
+  FilterState tst = Interp::init_state(spec);
+  FilterState vst = runtime::Vm::init_state(spec, *prog);
+  std::string terr, verr;
+  try {
+    Interp::run_work(spec, tst, tin, tout, nullptr);
+  } catch (const std::runtime_error& e) {
+    terr = e.what();
+  }
+  try {
+    runtime::Vm::run_work(prog, vst, vin, vout, nullptr);
+  } catch (const std::runtime_error& e) {
+    verr = e.what();
+  }
+  ASSERT_FALSE(terr.empty());
+  EXPECT_EQ(terr, verr);
+}
+
+// Init functions compile too: a loop-initialized array must come out
+// identical from both init paths.
+TEST(VmDifferential, CompiledInitMatchesTree) {
+  auto spec = filter("initful")
+                  .rates(0, 0, 1)
+                  .array("w", 8)
+                  .iscalar("n", 0)
+                  .init(for_("i", 0, 8,
+                             set_at("w", v("i"), sin_(v("i") * c(0.3)) + v("i"))))
+                  .work({let("n", v("n") + 1), push_(at("w", v("n") % 8))})
+                  .build();
+  auto prog = runtime::compile_filter(spec);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_TRUE(prog->has_init);
+  FilterState tst = Interp::init_state(spec);
+  FilterState vst = runtime::Vm::init_state(spec, *prog);
+  expect_same_state(tst, vst, "initful");
+}
+
+// Disassembly is for humans; just pin that it mentions the channel ops so
+// the docs' examples stay truthful.
+TEST(VmDifferential, DisassembleSmoke) {
+  auto spec = filter("fir4")
+                  .rates(4, 1, 1)
+                  .array_init("h", {Value{0.1}, Value{0.2}, Value{0.3}, Value{0.4}})
+                  .work({let("sum", c(0.0)),
+                         for_("i", 0, 4,
+                              let("sum", v("sum") + peek_(v("i")) * at("h", v("i")))),
+                         push_(v("sum")), discard(1)})
+                  .build();
+  auto prog = runtime::compile_filter(spec);
+  ASSERT_NE(prog, nullptr);
+  const std::string dis = runtime::disassemble(prog->work);
+  EXPECT_NE(dis.find("peek"), std::string::npos);
+  EXPECT_NE(dis.find("push"), std::string::npos);
+  EXPECT_NE(dis.find("halt"), std::string::npos);
+}
+
+// ---- ring-buffer channel ----------------------------------------------------
+
+TEST(RingChannel, FifoAcrossWraparound) {
+  Channel ch;
+  // Interleave pushes and pops so head_ walks around the ring repeatedly.
+  std::int64_t next_push = 0, next_pop = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 3; ++i) ch.push_item(static_cast<double>(next_push++));
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_EQ(ch.pop_item(), static_cast<double>(next_pop++));
+    }
+    // Peeks must see the live window in order.
+    for (std::size_t off = 0; off < ch.size(); ++off) {
+      ASSERT_EQ(ch.peek_item(static_cast<int>(off)),
+                static_cast<double>(next_pop + static_cast<std::int64_t>(off)));
+    }
+  }
+  EXPECT_EQ(ch.total_pushed(), next_push);
+  EXPECT_EQ(ch.total_popped(), next_pop);
+  EXPECT_EQ(ch.size(), static_cast<std::size_t>(next_push - next_pop));
+  // Power-of-two capacity invariant.
+  ASSERT_GT(ch.capacity(), 0u);
+  EXPECT_EQ(ch.capacity() & (ch.capacity() - 1), 0u);
+}
+
+TEST(RingChannel, PushManyWrapsAndCounts) {
+  Channel ch;
+  // Misalign head first so the bulk write must split into two segments.
+  for (int i = 0; i < 20; ++i) ch.push_item(i);
+  for (int i = 0; i < 13; ++i) ch.pop_item();
+  std::vector<double> bulk;
+  for (int i = 0; i < 100; ++i) bulk.push_back(1000.0 + i);
+  ch.push_many(bulk);
+  EXPECT_EQ(ch.size(), 107u);
+  EXPECT_EQ(ch.total_pushed(), 120);
+  for (int i = 13; i < 20; ++i) ASSERT_EQ(ch.pop_item(), i);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(ch.pop_item(), 1000.0 + i);
+  EXPECT_TRUE(ch.empty());
+  EXPECT_THROW(ch.pop_item(), std::runtime_error);
+}
+
+TEST(RingChannel, PeekBeyondContentsThrows) {
+  Channel ch;
+  ch.push_item(1.0);
+  EXPECT_THROW(ch.peek_item(1), std::runtime_error);
+  EXPECT_THROW(ch.peek_item(-1), std::runtime_error);
+  EXPECT_EQ(ch.peek_item(0), 1.0);
+}
+
+TEST(RingChannel, HighWaterTracksPeakOccupancy) {
+  Channel ch;
+  for (int i = 0; i < 10; ++i) ch.push_item(i);
+  ch.note_high_water();
+  for (int i = 0; i < 9; ++i) ch.pop_item();
+  ch.note_high_water();
+  EXPECT_EQ(ch.high_water(), 10);
+}
+
+}  // namespace
+}  // namespace sit

@@ -1,0 +1,145 @@
+// Threaded-runtime scaling: throughput vs SIT_THREADS for the coarse-grained
+// data-parallel apps, against the sequential VM executor as baseline.
+//
+//   bench_parallel [--smoke]
+//
+// For each app we measure the sequential Executor on the original graph,
+// then ThreadedExecutor on parallel::prepare_threaded(app, T) for
+// T in {1, 2, 4, 8}.  Throughput is normalized to items emitted by the
+// graph's *source* actor per second, which is invariant under the fission
+// transforms (the stateful source is never replicated), so rows are
+// comparable even though each transformed graph has its own steady state.
+//
+// Writes BENCH_parallel.json (bench_util stamps git SHA / engine / threads).
+// Results are hardware-dependent: on a single-core host the threaded rows
+// show scheduling overhead, not speedup -- the `predicted` column carries
+// the machine-model expectation for the chosen placement.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench/bench_util.h"
+#include "parallel/transforms.h"
+#include "sched/texec.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// Items the source actor emits per steady state of this particular graph.
+std::int64_t source_items_per_steady(const sit::runtime::FlatGraph& g,
+                                     const sit::sched::Schedule& s) {
+  if (s.input_per_steady > 0) return s.input_per_steady;
+  for (std::size_t i = 0; i < g.actors.size(); ++i) {
+    const auto& a = g.actors[i];
+    bool has_in = false;
+    for (int e : a.in_edges) has_in |= e >= 0;
+    if (!has_in) return s.reps[i] * a.push_rate();
+  }
+  return 0;
+}
+
+// Run batches of steady states until `min_ms` of wall time accumulates;
+// returns steady states per second.
+template <typename Ex>
+double steadies_per_sec(Ex& ex, int batch, double min_ms, int max_batches) {
+  const auto t0 = Clock::now();
+  int batches = 0;
+  do {
+    ex.run_steady(batch);
+    ++batches;
+  } while (ms_since(t0) < min_ms && batches < max_batches);
+  const double ms = ms_since(t0);
+  return ms > 0 ? 1000.0 * batches * batch / ms : 0.0;
+}
+
+struct BenchApp {
+  const char* name;
+  sit::ir::NodeP (*make)();
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int warm = smoke ? 2 : 8;
+  const int batch = smoke ? 4 : 16;
+  const double min_ms = smoke ? 0.0 : 300.0;
+  const int max_batches = smoke ? 1 : 200;
+
+  const std::vector<BenchApp> benches = {
+      {"FIR", [] { return sit::apps::make_fir_app(128); }},
+      {"FilterBank", [] { return sit::apps::make_filter_bank(); }},
+      {"FMRadio", [] { return sit::apps::make_fm_radio(); }},
+  };
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  std::vector<sit::bench::BenchRecord> records;
+  std::printf("%-12s %8s %14s %9s %10s %6s\n", "app", "threads", "items/s",
+              "speedup", "predicted", "rings");
+  sit::bench::rule(64);
+
+  for (const auto& b : benches) {
+    sit::sched::ExecOptions seq_opts;
+    seq_opts.count_ops = false;
+    seq_opts.engine = sit::sched::Engine::Vm;
+    sit::sched::Executor seq(b.make(), seq_opts);
+    const std::int64_t seq_items =
+        source_items_per_steady(seq.graph(), seq.schedule());
+    seq.run_steady(warm);
+    const double seq_rate =
+        steadies_per_sec(seq, batch, min_ms, max_batches) *
+        static_cast<double>(seq_items);
+    std::printf("%-12s %8s %14.0f %9s %10s %6s\n", b.name, "seq", seq_rate,
+                "1.00", "-", "-");
+    records.push_back({std::string(b.name) + "/seq",
+                       {{"threads", 1.0}, {"items_per_sec", seq_rate},
+                        {"speedup", 1.0}}});
+
+    for (int t : thread_counts) {
+      sit::sched::ExecOptions opts;
+      opts.count_ops = false;
+      opts.engine = sit::sched::Engine::Vm;
+      opts.threads = t;
+      sit::sched::ThreadedExecutor tex(sit::parallel::prepare_threaded(b.make(), t),
+                                       opts);
+      const std::int64_t items =
+          source_items_per_steady(tex.graph(), tex.schedule());
+      tex.run_steady(warm);  // init + calibration + first threaded batch
+      const double rate = steadies_per_sec(tex, batch, min_ms, max_batches) *
+                          static_cast<double>(items);
+      const auto& rep = tex.report();
+      const double speedup = seq_rate > 0 ? rate / seq_rate : 0.0;
+      std::printf("%-12s %8d %14.0f %9.2f %10.2f %6d\n", b.name, t, rate,
+                  speedup, rep.predicted_speedup, rep.ring_edges);
+      records.push_back(
+          {std::string(b.name) + "/t" + std::to_string(t),
+           {{"threads", static_cast<double>(t)},
+            {"items_per_sec", rate},
+            {"speedup", speedup},
+            {"predicted_speedup", rep.predicted_speedup},
+            {"threaded", rep.threaded ? 1.0 : 0.0},
+            {"ring_edges", static_cast<double>(rep.ring_edges)}}});
+    }
+    sit::bench::rule(64);
+  }
+
+  if (!sit::bench::write_bench_json("BENCH_parallel.json", "parallel_scaling",
+                                    records)) {
+    std::fprintf(stderr, "failed to write BENCH_parallel.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_parallel.json (%zu records)\n", records.size());
+  return 0;
+}

@@ -1,8 +1,10 @@
 #pragma once
 // Shared helpers for the figure-reproduction benchmark binaries.
 
+#include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -11,6 +13,7 @@
 #include "apps/apps.h"
 #include "machine/machine.h"
 #include "parallel/strategies.h"
+#include "sched/exec.h"
 
 namespace sit::bench {
 
@@ -36,11 +39,36 @@ inline std::string json_escape(const std::string& s) {
   return out;
 }
 
+// Provenance stamped into every BENCH_*.json so the perf trajectory stays
+// attributable across PRs: which commit, which work-function engine, and how
+// many worker threads the environment selects.
+inline std::string bench_git_sha() {
+  if (const char* sha = std::getenv("GITHUB_SHA")) return sha;
+  std::array<char, 64> buf{};
+  std::string sha = "unknown";
+  if (FILE* p = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    if (fgets(buf.data(), static_cast<int>(buf.size()), p) != nullptr) {
+      std::string s(buf.data());
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+      if (!s.empty()) sha = s;
+    }
+    pclose(p);
+  }
+  return sha;
+}
+
 inline bool write_bench_json(const std::string& path, const std::string& bench,
                              const std::vector<BenchRecord>& records) {
   std::ofstream f(path);
   if (!f) return false;
-  f << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n  \"records\": [\n";
+  const char* engine =
+      sched::resolve_engine(sched::Engine::Auto) == sched::Engine::Vm ? "vm"
+                                                                      : "tree";
+  f << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n"
+    << "  \"git_sha\": \"" << json_escape(bench_git_sha()) << "\",\n"
+    << "  \"engine\": \"" << engine << "\",\n"
+    << "  \"threads\": " << sched::resolve_threads(0) << ",\n"
+    << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     f << "    {\"name\": \"" << json_escape(records[i].name) << "\"";
     for (const auto& [k, v] : records[i].metrics) {

@@ -64,6 +64,11 @@ class InTape {
   virtual ~InTape() = default;
   virtual double peek_item(int offset) = 0;  // offset 0 = next item to pop
   virtual double pop_item() = 0;
+  // Bulk discard of the next `n` items; concrete tapes override with an O(1)
+  // index advance (decimation loops and splitter strides hit this hard).
+  virtual void pop_many(int n) {
+    for (int i = 0; i < n; ++i) pop_item();
+  }
 };
 
 class OutTape {

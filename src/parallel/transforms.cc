@@ -130,7 +130,7 @@ NodeP fuse_subtree(const NodeP& node, const std::string& name) {
       throw std::runtime_error("fused filter produced unexpected item count");
     }
     for (double v : produced) out.push_item(v);
-    for (int i = 0; i < P; ++i) in.pop_item();
+    in.pop_many(P);
   };
   return ir::make_native(std::move(nf));
 }
@@ -232,7 +232,7 @@ NodeP make_replica(const NodeP& leaf, int k, int idx) {
     } else {
       proto->native.work(rs->nst.get(), shifted, out);
     }
-    for (int i = 0; i < stride; ++i) in.pop_item();
+    in.pop_many(stride);
   };
   return ir::make_native(std::move(nf));
 }
@@ -571,6 +571,15 @@ NodeP fine_grained_parallelize(const NodeP& root, int cores) {
   double total = 0.0;
   for (const auto& [node, w] : work) total += w;
   return fiss_leaves(g, cores, 0.0, total, work, false);
+}
+
+NodeP prepare_threaded(const NodeP& root, int threads, int max_actors) {
+  if (threads <= 1) return ir::clone(root);
+  NodeP g = ir::clone(root);
+  if (max_actors > 0 && ir::count_filters(g) > max_actors) {
+    g = selective_fusion(g, max_actors);
+  }
+  return data_parallelize(g, threads);
 }
 
 }  // namespace sit::parallel

@@ -54,4 +54,12 @@ ir::NodeP data_parallelize(const ir::NodeP& root, int cores,
 // fiss every stateless filter `cores` ways with no coarsening.
 ir::NodeP fine_grained_parallelize(const ir::NodeP& root, int cores);
 
+// Shape a graph for the threaded runtime (sched::ThreadedExecutor): expose
+// enough data parallelism for `threads` workers via data_parallelize.  If
+// `max_actors` > 0, first apply selective_fusion down to that many leaves so
+// fine-grained graphs do not drown the workers in per-actor overhead.  The
+// executor itself never transforms the graph -- callers opt in with this.
+ir::NodeP prepare_threaded(const ir::NodeP& root, int threads,
+                           int max_actors = 0);
+
 }  // namespace sit::parallel

@@ -47,6 +47,18 @@ class Channel final : public ir::InTape, public ir::OutTape {
     return v;
   }
 
+  // Bulk discard: one bounds check, then a single index advance -- the
+  // symmetric fast path to push_many (decimation loops pop stride items per
+  // output without looking at them).
+  void pop_many(int n) override {
+    if (n <= 0) return;
+    const auto un = static_cast<std::size_t>(n);
+    if (un > count_) throw std::runtime_error("pop from empty channel");
+    head_ = (head_ + un) & mask_;
+    count_ -= un;
+    total_popped_ += n;
+  }
+
   double peek_item(int offset) override {
     if (offset < 0 || static_cast<std::size_t>(offset) >= count_) {
       throw std::runtime_error("peek(" + std::to_string(offset) +

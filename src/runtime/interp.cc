@@ -220,10 +220,10 @@ void exec(const StmtP& s, Ctx& ctx) {
     case Stmt::Kind::PopN: {
       if (!ctx.in) throw std::runtime_error("pop outside work function");
       const auto n = eval(s->index, ctx).as_int();
-      for (std::int64_t i = 0; i < n; ++i) {
-        if (ctx.counts) ++ctx.counts->channel;
-        ++ctx.pops;
-        ctx.in->pop_item();
+      if (n > 0) {
+        if (ctx.counts) ctx.counts->channel += n;
+        ctx.pops += n;
+        ctx.in->pop_many(static_cast<int>(n));
       }
       break;
     }

@@ -148,10 +148,10 @@ void VmBound::run_program(const CompiledProgram& p, ir::InTape* in,
       case VmOp::PopN: {
         if (!in) throw std::runtime_error("pop outside work function");
         const std::int64_t n = regs[I.a].as_int();
-        for (std::int64_t i = 0; i < n; ++i) {
-          if constexpr (kCount) ++counts->channel;
-          ++pops;
-          in->pop_item();
+        if (n > 0) {
+          if constexpr (kCount) counts->channel += n;
+          pops += n;
+          in->pop_many(static_cast<int>(n));
         }
         ++pc;
         break;

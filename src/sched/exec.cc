@@ -45,6 +45,14 @@ Engine resolve_engine(Engine e) {
   return Engine::Vm;
 }
 
+int resolve_threads(int requested) {
+  if (requested == 0) {
+    const char* env = std::getenv("SIT_THREADS");
+    if (env != nullptr) requested = std::atoi(env);
+  }
+  return requested < 1 ? 1 : requested;
+}
+
 Executor::Executor(ir::NodeP root, ExecOptions opts)
     : root_(std::move(root)), opts_(std::move(opts)) {
   // Full static-analysis gate: structural validation plus the dataflow and

@@ -36,9 +36,17 @@ enum class Engine { Auto, Tree, Vm };
 // Resolve Auto against SIT_ENGINE (other values pass through).
 Engine resolve_engine(Engine e);
 
+// Resolve a requested worker-thread count: 0 means "consult SIT_THREADS",
+// which itself defaults to 1 (sequential).  Values < 1 clamp to 1.  Only the
+// ThreadedExecutor (sched/texec.h) acts on counts > 1; the plain Executor
+// ignores the field.
+int resolve_threads(int requested);
+
 struct ExecOptions {
   bool count_ops{true};
   Engine engine{Engine::Auto};
+  // Worker threads for ThreadedExecutor: 0 = resolve from SIT_THREADS.
+  int threads{0};
   // Receives teleport messages emitted by Send statements; delivery policy is
   // the msg module's job (the plain executor only forwards).
   runtime::MessageSink message_sink;

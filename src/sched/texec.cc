@@ -1,0 +1,734 @@
+#include "sched/texec.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "analysis/analyze.h"
+#include "machine/machine.h"
+#include "runtime/compile.h"
+
+namespace sit::sched {
+
+using runtime::Channel;
+using runtime::FlatActor;
+using runtime::Interp;
+using runtime::OpCounts;
+using runtime::SpscRing;
+
+namespace {
+
+// Max steady-state iterations any worker may lead the slowest worker by.
+// Bounds every ring's occupancy (rings are sized for it) and the amount of
+// speculative buffering; small values lose pipelining slack, large values
+// cost memory.
+constexpr int kWindow = 4;
+
+// Tape stubs for boundary filters (pure sources/sinks have no edge).
+class NullIn final : public ir::InTape {
+ public:
+  double peek_item(int) override {
+    throw std::runtime_error("source filter attempted to peek");
+  }
+  double pop_item() override {
+    throw std::runtime_error("source filter attempted to pop");
+  }
+};
+
+class NullOut final : public ir::OutTape {
+ public:
+  void push_item(double) override {
+    throw std::runtime_error("sink filter attempted to push");
+  }
+};
+
+NullIn g_null_in;
+NullOut g_null_out;
+
+// Thrown inside a worker when another worker already failed; swallowed after
+// the join (only the first error is reported).
+struct Aborted {};
+
+// Spin with backoff until `ready()`.  Cooperative: yields after a short busy
+// phase so oversubscribed hosts (more workers than cores) keep making
+// progress, and bails out if another worker aborted or nothing happened for
+// a very long time (a bug's infinite hang becomes a test failure instead).
+template <typename Pred>
+void spin_until(const std::atomic<bool>& abort, Pred&& ready, const char* what) {
+  int spins = 0;
+  std::chrono::steady_clock::time_point started{};
+  while (!ready()) {
+    if (abort.load(std::memory_order_acquire)) throw Aborted{};
+    if (++spins < 128) continue;
+    std::this_thread::yield();
+    if ((spins & 2047) == 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (started == std::chrono::steady_clock::time_point{}) {
+        started = now;
+      } else if (now - started > std::chrono::seconds(120)) {
+        throw std::runtime_error(std::string("threaded runtime stalled: ") +
+                                 what);
+      }
+    }
+  }
+}
+
+bool stmt_sends(const ir::StmtP& s) {
+  if (!s) return false;
+  if (s->kind == ir::Stmt::Kind::Send) return true;
+  for (const auto& c : s->stmts) {
+    if (stmt_sends(c)) return true;
+  }
+  return stmt_sends(s->body) || stmt_sends(s->elseBody);
+}
+
+std::int64_t rate_into(const FlatActor& a, int edge) {
+  for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
+    if (a.in_edges[p] == edge) return a.in_rate[p];
+  }
+  return 0;
+}
+
+std::int64_t rate_outof(const FlatActor& a, int edge) {
+  for (std::size_t p = 0; p < a.out_edges.size(); ++p) {
+    if (a.out_edges[p] == edge) return a.out_rate[p];
+  }
+  return 0;
+}
+
+}  // namespace
+
+ThreadedExecutor::ThreadedExecutor(ir::NodeP root, ExecOptions opts)
+    : root_(std::move(root)), opts_(std::move(opts)) {
+  const int requested = resolve_threads(opts_.threads);
+  std::string refuse;
+  if (requested <= 1) {
+    refuse = "one thread requested";
+  } else if (opts_.message_sink) {
+    refuse = "teleport message sink attached";
+  } else {
+    // Same static-analysis gate as the sequential executor, then the
+    // threaded-eligibility checks on the flattened graph.
+    analysis::check_or_throw(root_);
+    g_ = runtime::flatten(root_);
+    sched_ = make_schedule(g_);
+    refuse = refusal_reason();
+  }
+  if (!refuse.empty()) {
+    report_.threaded = false;
+    report_.threads = 1;
+    report_.fallback_reason = refuse;
+    seq_ = std::make_unique<Executor>(root_, opts_);
+    return;
+  }
+  threads_ = std::min<int>(requested, static_cast<int>(g_.actors.size()));
+  report_.threaded = true;
+  report_.threads = threads_;
+  build_storage();
+}
+
+ThreadedExecutor::~ThreadedExecutor() = default;
+
+std::string ThreadedExecutor::refusal_reason() const {
+  for (const auto& a : g_.actors) {
+    if (a.kind != FlatActor::Kind::Filter) continue;
+    const ir::FilterSpec& spec = a.node->filter;
+    if (!spec.handlers.empty()) {
+      return "filter '" + spec.name + "' has teleport handlers";
+    }
+    if (stmt_sends(spec.work) || stmt_sends(spec.init)) {
+      return "filter '" + spec.name + "' sends teleport messages";
+    }
+  }
+  if (g_.actors.size() < 2) return "graph has fewer than two actors";
+
+  // Single-appearance schedulability: simulate one steady state in the
+  // global topological order with each actor firing its full repetition
+  // count at once, starting from the post-init channel populations.  If any
+  // actor comes up short, the graph needs interleaved firings (e.g. a tight
+  // feedback loop) and stays sequential.
+  std::vector<std::int64_t> cnt(g_.edges.size(), 0);
+  for (std::size_t e = 0; e < g_.edges.size(); ++e) {
+    const auto& ed = g_.edges[e];
+    std::int64_t c = static_cast<std::int64_t>(ed.initial_items.size());
+    if (ed.src >= 0) {
+      c += sched_.init_fires[static_cast<std::size_t>(ed.src)] *
+           rate_outof(g_.actors[static_cast<std::size_t>(ed.src)],
+                      static_cast<int>(e));
+    } else {
+      c += sched_.input_for_init;
+    }
+    if (ed.dst >= 0) {
+      c -= sched_.init_fires[static_cast<std::size_t>(ed.dst)] *
+           rate_into(g_.actors[static_cast<std::size_t>(ed.dst)],
+                     static_cast<int>(e));
+    }
+    cnt[e] = c;
+  }
+  if (g_.input_edge >= 0) {
+    cnt[static_cast<std::size_t>(g_.input_edge)] += sched_.input_per_steady;
+  }
+  for (int actor : sched_.order) {
+    const auto ai = static_cast<std::size_t>(actor);
+    const FlatActor& a = g_.actors[ai];
+    for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
+      const int e = a.in_edges[p];
+      if (e < 0) continue;
+      std::int64_t need = sched_.reps[ai] * a.in_rate[p];
+      if (a.is_filter()) need += a.peek_extra;
+      if (cnt[static_cast<std::size_t>(e)] < need) {
+        return "actor '" + a.name +
+               "' needs interleaved firings in the steady state";
+      }
+    }
+    for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
+      const int e = a.in_edges[p];
+      if (e >= 0) cnt[static_cast<std::size_t>(e)] -= sched_.reps[ai] * a.in_rate[p];
+    }
+    for (std::size_t p = 0; p < a.out_edges.size(); ++p) {
+      const int e = a.out_edges[p];
+      if (e >= 0) cnt[static_cast<std::size_t>(e)] += sched_.reps[ai] * a.out_rate[p];
+    }
+  }
+  return "";
+}
+
+void ThreadedExecutor::build_storage() {
+  chans_.reserve(g_.edges.size());
+  for (const auto& e : g_.edges) {
+    auto ch = std::make_unique<Channel>();
+    ch->push_many(e.initial_items);
+    chans_.push_back(std::move(ch));
+  }
+  rings_.resize(g_.edges.size());
+
+  engine_ = resolve_engine(opts_.engine);
+  const std::size_t n = g_.actors.size();
+  fstate_.resize(n);
+  nstate_.resize(n);
+  vmf_.resize(n);
+  ops_.resize(n);
+  calib_.resize(n);
+  fired_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlatActor& a = g_.actors[i];
+    if (a.kind == FlatActor::Kind::Filter) {
+      const ir::FilterSpec& spec = a.node->filter;
+      if (engine_ == Engine::Vm) {
+        if (auto prog = runtime::compile_filter(spec)) {
+          fstate_[i] = Interp::declare_state(spec);
+          vmf_[i] = std::make_unique<runtime::VmBound>(prog, fstate_[i]);
+          if (prog->has_init) {
+            vmf_[i]->run_init();
+          } else {
+            Interp::run_init(spec, fstate_[i]);
+          }
+          continue;
+        }
+      }
+      fstate_[i] = Interp::init_state(spec);
+    } else if (a.kind == FlatActor::Kind::Native) {
+      if (a.node->native.make_state) nstate_[i] = a.node->native.make_state();
+    }
+  }
+}
+
+// ---- delegating accessors ---------------------------------------------------
+
+const runtime::FlatGraph& ThreadedExecutor::graph() const {
+  return seq_ ? seq_->graph() : g_;
+}
+const Schedule& ThreadedExecutor::schedule() const {
+  return seq_ ? seq_->schedule() : sched_;
+}
+Engine ThreadedExecutor::engine() const {
+  return seq_ ? seq_->engine() : engine_;
+}
+const std::vector<std::int64_t>& ThreadedExecutor::firings() const {
+  return seq_ ? seq_->firings() : fired_;
+}
+const std::vector<OpCounts>& ThreadedExecutor::actor_ops() const {
+  return seq_ ? seq_->actor_ops() : ops_;
+}
+OpCounts ThreadedExecutor::total_ops() const {
+  if (seq_) return seq_->total_ops();
+  OpCounts t;
+  for (const auto& o : ops_) t += o;
+  return t;
+}
+runtime::FilterState& ThreadedExecutor::filter_state(int actor) {
+  return seq_ ? seq_->filter_state(actor)
+              : fstate_[static_cast<std::size_t>(actor)];
+}
+std::int64_t ThreadedExecutor::edge_pushed(int edge) const {
+  if (seq_) return seq_->channel(edge).total_pushed();
+  const auto e = static_cast<std::size_t>(edge);
+  return rings_[e] ? rings_[e]->total_pushed() : chans_[e]->total_pushed();
+}
+std::int64_t ThreadedExecutor::edge_popped(int edge) const {
+  if (seq_) return seq_->channel(edge).total_popped();
+  const auto e = static_cast<std::size_t>(edge);
+  return rings_[e] ? rings_[e]->total_popped() : chans_[e]->total_popped();
+}
+
+// ---- external input ---------------------------------------------------------
+
+void ThreadedExecutor::feed_input(const std::vector<double>& items) {
+  if (seq_) {
+    seq_->feed_input(items);
+    return;
+  }
+  if (g_.input_edge < 0) {
+    throw std::runtime_error("program has no external input");
+  }
+  chans_[static_cast<std::size_t>(g_.input_edge)]->push_many(items);
+  input_fed_ += static_cast<std::int64_t>(items.size());
+}
+
+void ThreadedExecutor::set_input_generator(
+    std::function<double(std::int64_t)> gen) {
+  if (seq_) {
+    seq_->set_input_generator(std::move(gen));
+    return;
+  }
+  input_gen_ = std::move(gen);
+}
+
+void ThreadedExecutor::ensure_input_for(std::int64_t items_needed) {
+  if (g_.input_edge < 0 || !input_gen_) return;
+  auto& ch = *chans_[static_cast<std::size_t>(g_.input_edge)];
+  while (input_fed_ < items_needed) {
+    ch.push_item(input_gen_(input_fed_));
+    ++input_fed_;
+  }
+}
+
+// ---- sequential epochs (init + calibration) ---------------------------------
+
+ir::InTape* ThreadedExecutor::in_tape(int edge) {
+  if (edge < 0) return &g_null_in;
+  const auto e = static_cast<std::size_t>(edge);
+  if (rings_[e]) return rings_[e].get();
+  return chans_[e].get();
+}
+
+ir::OutTape* ThreadedExecutor::out_tape(int edge) {
+  if (edge < 0) return &g_null_out;
+  const auto e = static_cast<std::size_t>(edge);
+  if (rings_[e]) return rings_[e].get();
+  return chans_[e].get();
+}
+
+bool ThreadedExecutor::can_fire(int actor) const {
+  const FlatActor& a = g_.actors[static_cast<std::size_t>(actor)];
+  for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
+    const int eid = a.in_edges[p];
+    if (eid < 0) continue;
+    std::int64_t want = a.in_rate[p];
+    if (a.is_filter()) want += a.peek_extra;
+    if (static_cast<std::int64_t>(chans_[static_cast<std::size_t>(eid)]->size()) <
+        want) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ThreadedExecutor::fire_actor(int actor, OpCounts* counts) {
+  const auto ai = static_cast<std::size_t>(actor);
+  const FlatActor& a = g_.actors[ai];
+
+  switch (a.kind) {
+    case FlatActor::Kind::Filter: {
+      ir::InTape* in =
+          in_tape(a.in_edges.empty() ? -1 : a.in_edges[0]);
+      ir::OutTape* out =
+          out_tape(a.out_edges.empty() ? -1 : a.out_edges[0]);
+      if (vmf_[ai]) {
+        vmf_[ai]->run_work(*in, *out, counts, nullptr);
+      } else {
+        Interp::run_work(a.node->filter, fstate_[ai], *in, *out, counts,
+                         nullptr);
+      }
+      break;
+    }
+    case FlatActor::Kind::Native: {
+      ir::InTape* in =
+          in_tape(a.in_edges.empty() ? -1 : a.in_edges[0]);
+      ir::OutTape* out =
+          out_tape(a.out_edges.empty() ? -1 : a.out_edges[0]);
+      a.node->native.work(nstate_[ai].get(), *in, *out);
+      if (counts) {
+        counts->flops += static_cast<std::int64_t>(a.node->native.cost_flops);
+        counts->int_ops += static_cast<std::int64_t>(
+            a.node->native.cost_ops - a.node->native.cost_flops);
+        counts->channel += a.pop_rate() + a.push_rate();
+      }
+      break;
+    }
+    case FlatActor::Kind::Splitter: {
+      ir::InTape& in = *in_tape(a.in_edges[0]);
+      if (a.sj == ir::SJKind::Duplicate) {
+        const double v = in.pop_item();
+        for (int eid : a.out_edges) {
+          if (eid >= 0) out_tape(eid)->push_item(v);
+        }
+        if (counts) {
+          counts->channel += 1 + static_cast<std::int64_t>(a.out_edges.size());
+        }
+      } else {
+        for (std::size_t p = 0; p < a.out_rate.size(); ++p) {
+          for (int k = 0; k < a.out_rate[p]; ++k) {
+            const double v = in.pop_item();
+            const int eid = p < a.out_edges.size() ? a.out_edges[p] : -1;
+            if (eid >= 0) out_tape(eid)->push_item(v);
+            if (counts) counts->channel += 2;
+          }
+        }
+      }
+      break;
+    }
+    case FlatActor::Kind::Joiner: {
+      ir::OutTape& out = *out_tape(a.out_edges[0]);
+      for (std::size_t p = 0; p < a.in_rate.size(); ++p) {
+        for (int k = 0; k < a.in_rate[p]; ++k) {
+          const int eid = p < a.in_edges.size() ? a.in_edges[p] : -1;
+          if (eid < 0) continue;
+          out.push_item(in_tape(eid)->pop_item());
+          if (counts) counts->channel += 2;
+        }
+      }
+      break;
+    }
+  }
+  ++fired_[ai];
+  // High-water bookkeeping on the fired actor's plain channels (rings track
+  // their own; an actor's plain channels are owned by its worker).
+  for (int eid : a.in_edges) {
+    if (eid >= 0 && !rings_[static_cast<std::size_t>(eid)]) {
+      chans_[static_cast<std::size_t>(eid)]->note_high_water();
+    }
+  }
+  for (int eid : a.out_edges) {
+    if (eid >= 0 && !rings_[static_cast<std::size_t>(eid)]) {
+      chans_[static_cast<std::size_t>(eid)]->note_high_water();
+    }
+  }
+}
+
+void ThreadedExecutor::run_epoch(const std::vector<std::int64_t>& quota_in) {
+  std::vector<std::int64_t> quota = quota_in;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int actor : sched_.order) {
+      const auto ai = static_cast<std::size_t>(actor);
+      OpCounts* counts = opts_.count_ops ? &ops_[ai] : &calib_[ai];
+      while (quota[ai] > 0 && can_fire(actor)) {
+        fire_actor(actor, counts);
+        --quota[ai];
+        progress = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < quota.size(); ++i) {
+    if (quota[i] > 0) {
+      throw std::runtime_error("runtime deadlock: actor '" + g_.actors[i].name +
+                               "' starved with " + std::to_string(quota[i]) +
+                               " firings remaining");
+    }
+  }
+}
+
+void ThreadedExecutor::run_init() {
+  if (seq_) {
+    seq_->run_init();
+    return;
+  }
+  if (init_done_) return;
+  ensure_input_for(sched_.input_for_init);
+  run_epoch(sched_.init_fires);
+  init_done_ = true;
+}
+
+// ---- partitioning -----------------------------------------------------------
+
+void ThreadedExecutor::partition_and_migrate() {
+  const std::size_t n = g_.actors.size();
+  std::vector<double> cost(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cost[i] = (opts_.count_ops ? ops_[i] : calib_[i]).weighted();
+  }
+
+  // Longest-processing-time greedy: heaviest actor to the least loaded
+  // worker.  Classic 4/3-approximate makespan balancing.
+  std::vector<std::size_t> by_cost(n);
+  std::iota(by_cost.begin(), by_cost.end(), std::size_t{0});
+  std::sort(by_cost.begin(), by_cost.end(), [&](std::size_t x, std::size_t y) {
+    return cost[x] > cost[y];
+  });
+  std::vector<double> load(static_cast<std::size_t>(threads_), 0.0);
+  owner_.assign(n, 0);
+  for (std::size_t i : by_cost) {
+    const auto b = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    owner_[i] = static_cast<int>(b);
+    load[b] += cost[i];
+  }
+
+  // Affinity pass: an actor that costs a rounding error of the balance
+  // target buys nothing by sitting on its "own" worker but costs a ring
+  // crossing per neighbor.  Glue such actors to their heaviest neighbor.
+  const double total = std::accumulate(cost.begin(), cost.end(), 0.0);
+  const double feather = 0.01 * total / static_cast<double>(threads_);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cost[i] > feather) continue;
+      int best = -1;
+      double best_cost = -1.0;
+      for (const auto& e : g_.edges) {
+        int nb = -1;
+        if (e.src == static_cast<int>(i)) nb = e.dst;
+        if (e.dst == static_cast<int>(i)) nb = e.src;
+        if (nb >= 0 && cost[static_cast<std::size_t>(nb)] > best_cost) {
+          best_cost = cost[static_cast<std::size_t>(nb)];
+          best = nb;
+        }
+      }
+      if (best >= 0) owner_[i] = owner_[static_cast<std::size_t>(best)];
+    }
+  }
+
+  // Compact worker ids (LPT bins or the affinity pass may empty some) and
+  // freeze each worker's firing plan in global topological order.
+  std::vector<int> remap(static_cast<std::size_t>(threads_), -1);
+  int used = 0;
+  for (int actor : sched_.order) {
+    int& slot = remap[static_cast<std::size_t>(owner_[static_cast<std::size_t>(actor)])];
+    if (slot < 0) slot = used++;
+  }
+  threads_ = used;
+  plan_.assign(static_cast<std::size_t>(threads_), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    owner_[i] = remap[static_cast<std::size_t>(owner_[i])];
+  }
+  for (int actor : sched_.order) {
+    plan_[static_cast<std::size_t>(owner_[static_cast<std::size_t>(actor)])]
+        .push_back(actor);
+  }
+  input_owner_ = g_.input_edge >= 0
+                     ? owner_[static_cast<std::size_t>(
+                           g_.edges[static_cast<std::size_t>(g_.input_edge)].dst)]
+                     : -1;
+
+  // Migrate cross-thread edges from Channel to SPSC rings.  Capacity covers
+  // the post-init live items plus (window + 2) iterations of traffic -- one
+  // more than the pipelining window can ever put in flight.
+  int ring_edges = 0;
+  for (std::size_t e = 0; e < g_.edges.size(); ++e) {
+    const auto& ed = g_.edges[e];
+    if (ed.src < 0 || ed.dst < 0) continue;
+    if (owner_[static_cast<std::size_t>(ed.src)] ==
+        owner_[static_cast<std::size_t>(ed.dst)]) {
+      continue;
+    }
+    Channel& ch = *chans_[e];
+    const std::int64_t pushed = ch.total_pushed();
+    const std::int64_t popped = ch.total_popped();
+    std::vector<double> live;
+    live.reserve(ch.size());
+    while (!ch.empty()) live.push_back(ch.pop_item());
+    const std::size_t cap =
+        live.size() +
+        static_cast<std::size_t>((kWindow + 2) * sched_.edge_traffic[e]) + 16;
+    auto ring = std::make_unique<SpscRing>(cap);
+    ring->preload(live, pushed, popped);
+    rings_[e] = std::move(ring);
+    chans_[e].reset();
+    ++ring_edges;
+  }
+
+  // Per-worker progress counters for the sliding window, seeded with the
+  // iterations already executed sequentially.
+  completed_.clear();
+  for (int w = 0; w < threads_; ++w) {
+    auto c = std::make_unique<PaddedCounter>();
+    c->v.store(steady_run_, std::memory_order_relaxed);
+    completed_.push_back(std::move(c));
+  }
+
+  report_.threads = threads_;
+  report_.owner = owner_;
+  report_.ring_edges = ring_edges;
+
+  // Machine-model sanity estimate for this placement: a T x 1 grid versus
+  // everything on one core, software-pipelined.
+  std::vector<machine::PlacedActor> pa;
+  pa.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    machine::PlacedActor p;
+    p.name = g_.actors[i].name;
+    p.core = owner_[i];
+    p.compute_cycles = cost[i];
+    p.flops = static_cast<double>((opts_.count_ops ? ops_[i] : calib_[i]).flops);
+    pa.push_back(std::move(p));
+  }
+  std::vector<machine::PlacedEdge> pe;
+  for (std::size_t e = 0; e < g_.edges.size(); ++e) {
+    const auto& ed = g_.edges[e];
+    machine::PlacedEdge p;
+    p.src_actor = ed.src;
+    p.dst_actor = ed.dst;
+    p.items = static_cast<double>(sched_.edge_traffic[e]);
+    p.back_edge = ed.back_edge;
+    pe.push_back(p);
+  }
+  machine::MachineConfig par_cfg;
+  par_cfg.grid_w = threads_;
+  par_cfg.grid_h = 1;
+  const auto par = machine::simulate(par_cfg, pa, pe, machine::ExecMode::Pipelined);
+  std::vector<machine::PlacedActor> pa_one = pa;
+  for (auto& p : pa_one) p.core = 0;
+  machine::MachineConfig one_cfg;
+  one_cfg.grid_w = 1;
+  one_cfg.grid_h = 1;
+  const auto seq = machine::simulate(one_cfg, pa_one, pe, machine::ExecMode::Pipelined);
+  report_.predicted_speedup =
+      par.cycles_per_steady > 0 ? seq.cycles_per_steady / par.cycles_per_steady
+                                : 0.0;
+
+  partitioned_ = true;
+}
+
+// ---- the threaded steady state ----------------------------------------------
+
+std::int64_t ThreadedExecutor::min_completed() const {
+  std::int64_t m = completed_[0]->v.load(std::memory_order_acquire);
+  for (std::size_t w = 1; w < completed_.size(); ++w) {
+    m = std::min(m, completed_[w]->v.load(std::memory_order_acquire));
+  }
+  return m;
+}
+
+void ThreadedExecutor::wait_ready(int actor) {
+  const auto ai = static_cast<std::size_t>(actor);
+  const FlatActor& a = g_.actors[ai];
+  for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
+    const int eid = a.in_edges[p];
+    if (eid < 0 || !rings_[static_cast<std::size_t>(eid)]) continue;
+    SpscRing& r = *rings_[static_cast<std::size_t>(eid)];
+    std::int64_t need = sched_.reps[ai] * a.in_rate[p];
+    if (a.is_filter()) need += a.peek_extra;
+    const auto un = static_cast<std::size_t>(need);
+    spin_until(abort_, [&] { return r.can_pop(un); }, "waiting for input data");
+  }
+  for (std::size_t p = 0; p < a.out_edges.size(); ++p) {
+    const int eid = a.out_edges[p];
+    if (eid < 0 || !rings_[static_cast<std::size_t>(eid)]) continue;
+    SpscRing& r = *rings_[static_cast<std::size_t>(eid)];
+    const auto room =
+        static_cast<std::size_t>(sched_.reps[ai] * a.out_rate[p]);
+    spin_until(abort_, [&] { return r.can_push(room); },
+               "waiting for output space");
+  }
+}
+
+void ThreadedExecutor::stage_input(std::int64_t iter) {
+  const std::int64_t need_total =
+      sched_.input_for_init + iter * sched_.input_per_steady;
+  ensure_input_for(need_total);
+  // Whether fed explicitly or generated, this iteration's quota must be
+  // present now -- the consumer pops from a plain Channel nobody refills
+  // mid-iteration.
+  const auto ie = static_cast<std::size_t>(g_.input_edge);
+  const FlatActor& d = g_.actors[static_cast<std::size_t>(g_.edges[ie].dst)];
+  std::int64_t need = sched_.reps[static_cast<std::size_t>(g_.edges[ie].dst)] *
+                      rate_into(d, g_.input_edge);
+  if (d.is_filter()) need += d.peek_extra;
+  if (static_cast<std::int64_t>(chans_[ie]->size()) < need) {
+    throw std::runtime_error(
+        "runtime deadlock: external input starved (feed_input more items or "
+        "set an input generator)");
+  }
+}
+
+void ThreadedExecutor::worker(int w, std::int64_t first,
+                              std::int64_t last) noexcept {
+  try {
+    for (std::int64_t iter = first; iter <= last; ++iter) {
+      // Sliding window: run at most kWindow iterations ahead of the
+      // slowest worker, which bounds every ring's occupancy.
+      spin_until(abort_, [&] { return min_completed() >= iter - 1 - kWindow; },
+                 "iteration window");
+      if (w == input_owner_) stage_input(iter);
+      for (int actor : plan_[static_cast<std::size_t>(w)]) {
+        wait_ready(actor);
+        const auto ai = static_cast<std::size_t>(actor);
+        OpCounts* counts = opts_.count_ops ? &ops_[ai] : nullptr;
+        for (std::int64_t k = 0; k < sched_.reps[ai]; ++k) {
+          fire_actor(actor, counts);
+        }
+      }
+      completed_[static_cast<std::size_t>(w)]->v.store(
+          iter, std::memory_order_release);
+    }
+  } catch (const Aborted&) {
+    // Another worker failed first; unwind quietly.
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lk(err_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    abort_.store(true, std::memory_order_release);
+  }
+}
+
+void ThreadedExecutor::run_threaded(int iters) {
+  const std::int64_t first = steady_run_ + 1;
+  const std::int64_t last = steady_run_ + iters;
+  abort_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    pool.emplace_back([this, w, first, last] { worker(w, first, last); });
+  }
+  worker(0, first, last);
+  for (auto& t : pool) t.join();
+  steady_run_ = last;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+std::vector<double> ThreadedExecutor::run_steady(int n) {
+  if (seq_) return seq_->run_steady(n);
+  run_init();
+  int remaining = n;
+  if (!partitioned_ && remaining > 0) {
+    // Calibration: one sequential steady state to measure per-actor work,
+    // then freeze the partition and migrate cross-thread edges.
+    ++steady_run_;
+    ensure_input_for(sched_.input_for_init +
+                     steady_run_ * sched_.input_per_steady);
+    run_epoch(sched_.reps);
+    --remaining;
+    partition_and_migrate();
+  }
+  if (remaining > 0) run_threaded(remaining);
+  return take_output();
+}
+
+std::vector<double> ThreadedExecutor::take_output() {
+  if (seq_) return seq_->take_output();
+  std::vector<double> out;
+  if (g_.output_edge < 0) return out;
+  // The output edge's consumer is external, so it is never migrated to a
+  // ring; the producing worker has joined by the time we drain it.
+  Channel& ch = *chans_[static_cast<std::size_t>(g_.output_edge)];
+  out.reserve(ch.size());
+  while (!ch.empty()) out.push_back(ch.pop_item());
+  return out;
+}
+
+}  // namespace sit::sched

@@ -1,0 +1,163 @@
+#pragma once
+// Threaded runtime: execute a partitioned stream graph on real cores.
+//
+// The sequential Executor realizes the paper's operational semantics one
+// firing at a time, and machine::simulate only *models* parallel speedup.
+// ThreadedExecutor closes that gap: it places the flattened graph's actors
+// onto N OS threads and runs a software-pipelined steady state per worker.
+//
+// Execution model:
+//   * Initialization and the first steady state run sequentially; the first
+//     steady state doubles as a calibration run that measures each actor's
+//     cycle weight (runtime::OpCounts::weighted -- the same cost table the
+//     machine model uses).
+//   * Actors are then partitioned by longest-processing-time greedy
+//     balancing over the measured weights, with an affinity pass that glues
+//     featherweight actors (splitters, sinks, gains) to their heaviest
+//     neighbor so trivial actors do not buy a ring crossing.
+//   * Every worker executes its slice in the *global* topological order,
+//     firing each actor its full per-steady-state repetition count.  With
+//     this single-appearance discipline, a firing's inputs are produced
+//     either earlier in the same iteration (forward edges) or by the
+//     previous iteration (back edges), so per-edge quota waits alone order
+//     the computation -- no global barrier between steady states.
+//   * Cross-thread edges are migrated to lock-free SPSC rings
+//     (runtime/spsc.h); intra-thread edges keep the unsynchronized Channel.
+//     A sliding iteration window (kWindow in texec.cc) caps how far any
+//     worker runs ahead, which bounds ring occupancy so each ring is sized
+//     once: post-init live items + (window + 2) * steady-state traffic.
+//   * Deadlock freedom: induction over (iteration, topo position).  The
+//     earliest unfinished firing's data waits point only at strictly smaller
+//     (iteration, topo) pairs (back edges carry the previous iteration's
+//     items) and its space waits at consumers of strictly smaller pairs, so
+//     some actor can always proceed.
+//
+// Determinism: every actor's state, tally, and every channel's FIFO content
+// have exactly one owner thread, so outputs, final filter state, and the
+// cumulative push/pop counters are bit-equal to the sequential executor
+// (tests/test_texec.cc holds this differentially).
+//
+// Out of scope -- these fall back to an embedded sequential Executor (see
+// ThreadedReport::fallback_reason): thread counts <= 1, teleport messaging
+// (handlers, Send statements, or an attached message_sink: delivery points
+// are defined against the sequential schedule), and graphs whose steady
+// state admits no single-appearance topological schedule (checked statically
+// from the post-init channel counts; e.g. tight feedback loops whose delay
+// cannot cover a whole iteration).
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "runtime/channel.h"
+#include "runtime/flatgraph.h"
+#include "runtime/interp.h"
+#include "runtime/spsc.h"
+#include "runtime/vm.h"
+#include "sched/exec.h"
+#include "sched/schedule.h"
+
+namespace sit::sched {
+
+// How a ThreadedExecutor decided to run; owner/ring/speedup fields are
+// populated once the partition is frozen (after the first steady state).
+struct ThreadedReport {
+  bool threaded{false};
+  int threads{1};               // workers actually used
+  std::string fallback_reason;  // empty when threaded
+  std::vector<int> owner;       // actor index -> worker id
+  int ring_edges{0};            // edges migrated to SPSC rings
+  double predicted_speedup{0};  // machine-model estimate for this placement
+};
+
+class ThreadedExecutor {
+ public:
+  explicit ThreadedExecutor(ir::NodeP root, ExecOptions opts = {});
+  ~ThreadedExecutor();
+
+  [[nodiscard]] const runtime::FlatGraph& graph() const;
+  [[nodiscard]] const Schedule& schedule() const;
+
+  // External input -- same contract as Executor.  Only callable between
+  // run_* calls (no worker is running then).
+  void feed_input(const std::vector<double>& items);
+  void set_input_generator(std::function<double(std::int64_t)> gen);
+
+  void run_init();
+  // Run `n` steady states (init + calibration happen on first demand);
+  // returns the items pushed to the program output.
+  std::vector<double> run_steady(int n);
+  std::vector<double> take_output();
+
+  [[nodiscard]] Engine engine() const;
+  [[nodiscard]] const std::vector<std::int64_t>& firings() const;
+  [[nodiscard]] const std::vector<runtime::OpCounts>& actor_ops() const;
+  [[nodiscard]] runtime::OpCounts total_ops() const;
+  runtime::FilterState& filter_state(int actor);
+  // Cumulative per-edge counters -- n(t)/p(t), regardless of whether the
+  // edge lives on a Channel or was migrated to a ring.
+  [[nodiscard]] std::int64_t edge_pushed(int edge) const;
+  [[nodiscard]] std::int64_t edge_popped(int edge) const;
+
+  [[nodiscard]] const ThreadedReport& report() const { return report_; }
+
+ private:
+  std::string refusal_reason() const;
+  void build_storage();
+  ir::InTape* in_tape(int edge);
+  ir::OutTape* out_tape(int edge);
+  bool can_fire(int actor) const;
+  void fire_actor(int actor, runtime::OpCounts* counts);
+  void run_epoch(const std::vector<std::int64_t>& quota);
+  void ensure_input_for(std::int64_t items_needed);
+  void partition_and_migrate();
+  void run_threaded(int iters);
+  void worker(int w, std::int64_t first, std::int64_t last) noexcept;
+  void wait_ready(int actor);
+  void stage_input(std::int64_t iter);
+  std::int64_t min_completed() const;
+
+  ir::NodeP root_;
+  ExecOptions opts_;
+  ThreadedReport report_;
+  std::unique_ptr<Executor> seq_;  // fallback path; null when threaded
+
+  runtime::FlatGraph g_;
+  Schedule sched_;
+  Engine engine_{Engine::Vm};
+  std::vector<std::unique_ptr<runtime::Channel>> chans_;
+  std::vector<std::unique_ptr<runtime::SpscRing>> rings_;
+  std::vector<runtime::FilterState> fstate_;
+  std::vector<std::unique_ptr<runtime::VmBound>> vmf_;
+  std::vector<std::unique_ptr<ir::NativeState>> nstate_;
+  std::vector<runtime::OpCounts> ops_;
+  std::vector<runtime::OpCounts> calib_;  // weights when count_ops is off
+  std::vector<std::int64_t> fired_;
+  std::function<double(std::int64_t)> input_gen_;
+  std::int64_t input_fed_{0};
+  std::int64_t steady_run_{0};
+  bool init_done_{false};
+
+  // Frozen after the calibration steady state.
+  bool partitioned_{false};
+  int threads_{1};
+  std::vector<int> owner_;                // actor -> worker
+  std::vector<std::vector<int>> plan_;    // worker -> actors, global topo order
+  int input_owner_{-1};
+
+  struct alignas(64) PaddedCounter {
+    std::atomic<std::int64_t> v{0};
+  };
+  std::vector<std::unique_ptr<PaddedCounter>> completed_;
+  std::atomic<bool> abort_{false};
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace sit::sched

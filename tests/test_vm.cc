@@ -564,5 +564,61 @@ TEST(RingChannel, HighWaterTracksPeakOccupancy) {
   EXPECT_EQ(ch.high_water(), 10);
 }
 
+TEST(RingChannel, PopManyBulkDiscard) {
+  Channel ch;
+  for (int i = 0; i < 30; ++i) ch.push_item(static_cast<double>(i));
+  ch.pop_many(7);  // O(1) head advance
+  EXPECT_EQ(ch.total_popped(), 7);
+  EXPECT_EQ(ch.size(), 23u);
+  ASSERT_EQ(ch.pop_item(), 7.0);
+  ch.pop_many(0);   // no-ops
+  ch.pop_many(-3);
+  EXPECT_EQ(ch.total_popped(), 8);
+  EXPECT_THROW(ch.pop_many(100), std::runtime_error);
+  EXPECT_EQ(ch.size(), 22u);  // failed bulk pop consumed nothing
+  ch.pop_many(22);
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(ch.total_popped(), 30);
+}
+
+// Coprime push/pop rates sweep the wrap point through every alignment, the
+// way an up/down-sampler pair drives a channel across many steady states.
+// Bulk pops and bursty pushes keep crossing segment boundaries; growth at
+// awkward head positions must re-linearize without losing order.
+TEST(RingChannel, CoprimeRatesManySteadyStates) {
+  Channel ch;
+  std::int64_t next_push = 0, next_pop = 0;
+  std::size_t peak = 0;
+  for (int round = 0; round < 5000; ++round) {
+    // Occasional oversized bursts force capacity growth while head_ sits at
+    // an awkward offset.
+    const int pushes = (round % 997 == 17) ? 611 : 7;
+    std::vector<double> burst;
+    burst.reserve(pushes);
+    for (int i = 0; i < pushes; ++i) {
+      burst.push_back(static_cast<double>(next_push++));
+    }
+    ch.push_many(burst);
+    ch.note_high_water();
+    peak = std::max(peak, ch.size());
+    while (ch.size() >= 5) {
+      // Verify the head of the live window, then discard the 5-item stride
+      // in bulk (decimation idiom: peek what you need, pop_many the rest).
+      ASSERT_EQ(ch.peek_item(0), static_cast<double>(next_pop));
+      ASSERT_EQ(ch.peek_item(4), static_cast<double>(next_pop + 4));
+      ch.pop_many(5);
+      next_pop += 5;
+    }
+  }
+  while (!ch.empty()) {
+    ASSERT_EQ(ch.pop_item(), static_cast<double>(next_pop++));
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_EQ(ch.total_pushed(), next_push);
+  EXPECT_EQ(ch.total_popped(), next_pop);
+  EXPECT_EQ(ch.high_water(), peak);
+  EXPECT_EQ(ch.capacity() & (ch.capacity() - 1), 0u);
+}
+
 }  // namespace
 }  // namespace sit

@@ -186,7 +186,17 @@ int run_comparison(bool smoke) {
     if (!(tree_ms >= 0.0) || !(vm_ms > 0.0)) sane = false;
   }
   sit::bench::rule(72);
-  if (!sit::bench::write_bench_json("BENCH_interp.json", "interp", records)) {
+  // One short traced run (outside the timed sections) gives the JSON
+  // per-actor wall-ns attribution alongside the end-to-end ratios.
+  sit::sched::ExecOptions mopts;
+  mopts.engine = sit::sched::Engine::Vm;
+  mopts.trace = sit::sched::TraceMode::On;
+  sit::sched::Executor mex(sit::apps::make_app("FIR"), mopts);
+  mex.run_steady(smoke ? 2 : 8);
+  sit::obs::MetricsSnapshot metrics = mex.metrics_snapshot();
+  metrics.app = "FIR";
+  if (!sit::bench::write_bench_json("BENCH_interp.json", "interp", records,
+                                    &metrics)) {
     std::fprintf(stderr, "failed to write BENCH_interp.json\n");
     return 1;
   }

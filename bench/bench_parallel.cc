@@ -86,6 +86,10 @@ int main(int argc, char** argv) {
   const std::vector<int> thread_counts = {1, 2, 4, 8};
 
   std::vector<sit::bench::BenchRecord> records;
+  // Per-actor/worker attribution for the last threaded configuration,
+  // stamped into the JSON so the perf trajectory can see inside the rates.
+  sit::obs::MetricsSnapshot metrics;
+  bool have_metrics = false;
   std::printf("%-12s %8s %14s %9s %10s %6s\n", "app", "threads", "items/s",
               "speedup", "predicted", "rings");
   sit::bench::rule(64);
@@ -131,12 +135,18 @@ int main(int argc, char** argv) {
             {"predicted_speedup", rep.predicted_speedup},
             {"threaded", rep.threaded ? 1.0 : 0.0},
             {"ring_edges", static_cast<double>(rep.ring_edges)}}});
+      if (rep.threaded) {
+        metrics = tex.metrics_snapshot();
+        metrics.app = b.name;
+        have_metrics = true;
+      }
     }
     sit::bench::rule(64);
   }
 
   if (!sit::bench::write_bench_json("BENCH_parallel.json", "parallel_scaling",
-                                    records)) {
+                                    records,
+                                    have_metrics ? &metrics : nullptr)) {
     std::fprintf(stderr, "failed to write BENCH_parallel.json\n");
     return 1;
   }

@@ -2,16 +2,23 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
 
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "apps/apps.h"
 #include "machine/machine.h"
+#include "obs/metrics.h"
 #include "parallel/strategies.h"
 #include "sched/exec.h"
 
@@ -57,8 +64,33 @@ inline std::string bench_git_sha() {
   return sha;
 }
 
+// Host metadata: results are hardware-dependent, so BENCH_*.json records
+// where they were measured.
+inline std::string bench_hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  std::array<char, 256> buf{};
+  if (gethostname(buf.data(), buf.size() - 1) == 0 && buf[0] != '\0') {
+    return buf.data();
+  }
+#endif
+  if (const char* h = std::getenv("HOSTNAME")) return h;
+  return "unknown";
+}
+
+// Monotonic run timestamp (steady-clock ns): orders runs from one boot
+// unambiguously even if the wall clock steps.
+inline std::int64_t bench_run_mono_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// `metrics`, when non-null, embeds a full obs::MetricsSnapshot (per-actor /
+// per-edge / per-worker tables) under a "metrics" key, giving the perf
+// trajectory per-actor attribution instead of just end-to-end rates.
 inline bool write_bench_json(const std::string& path, const std::string& bench,
-                             const std::vector<BenchRecord>& records) {
+                             const std::vector<BenchRecord>& records,
+                             const obs::MetricsSnapshot* metrics = nullptr) {
   std::ofstream f(path);
   if (!f) return false;
   const char* engine =
@@ -68,6 +100,9 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
     << "  \"git_sha\": \"" << json_escape(bench_git_sha()) << "\",\n"
     << "  \"engine\": \"" << engine << "\",\n"
     << "  \"threads\": " << sched::resolve_threads(0) << ",\n"
+    << "  \"host\": {\"hostname\": \"" << json_escape(bench_hostname())
+    << "\", \"cpus\": " << std::thread::hardware_concurrency() << "},\n"
+    << "  \"run_mono_ns\": " << bench_run_mono_ns() << ",\n"
     << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     f << "    {\"name\": \"" << json_escape(records[i].name) << "\"";
@@ -76,7 +111,9 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
     }
     f << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  f << "  ]\n}\n";
+  f << "  ]";
+  if (metrics != nullptr) f << ",\n  \"metrics\": " << metrics->to_json();
+  f << "\n}\n";
   return static_cast<bool>(f);
 }
 

@@ -24,9 +24,14 @@ void collect_sends(const ir::StmtP& s,
 
 }  // namespace
 
-MessagingExecutor::MessagingExecutor(ir::NodeP root, sched::Engine engine) {
-  sched::ExecOptions opts;
-  opts.engine = engine;
+MessagingExecutor::MessagingExecutor(ir::NodeP root, sched::Engine engine)
+    : MessagingExecutor(std::move(root), [&] {
+        sched::ExecOptions o;
+        o.engine = engine;
+        return o;
+      }()) {}
+
+MessagingExecutor::MessagingExecutor(ir::NodeP root, sched::ExecOptions opts) {
   opts.message_sink = [this](const runtime::SentMessage& m) {
     if (current_actor_ < 0) return;
     on_send(current_actor_, m);
@@ -119,6 +124,9 @@ bool MessagingExecutor::constraints_allow(int actor) const {
 void MessagingExecutor::on_send(int sender, const runtime::SentMessage& m) {
   ++stats_.sent;
   const std::int64_t n = ex_->firings()[static_cast<std::size_t>(sender)] + 1;
+  if (obs::ThreadBuffer* tb = ex_->trace_buffer()) {
+    tb->emit(ex_->recorder()->now_ns(), obs::EventKind::MessageSend, sender, n);
+  }
   auto it = portals_.find(m.portal);
   if (it == portals_.end()) return;  // unregistered portal: dropped
   for (int r : it->second) {
@@ -147,6 +155,10 @@ void MessagingExecutor::deliver_due_before(int actor) {
     if (it->receiver == actor && it->before && it->firing <= next) {
       ex_->run_handler(actor, it->method, it->args);
       ++stats_.delivered;
+      if (obs::ThreadBuffer* tb = ex_->trace_buffer()) {
+        tb->emit(ex_->recorder()->now_ns(), obs::EventKind::MessageDeliver,
+                 actor, it->firing);
+      }
       stats_.deliveries.push_back(
           {it->portal, it->method, g.actors[static_cast<std::size_t>(actor)].name,
            it->firing, true});
@@ -164,6 +176,10 @@ void MessagingExecutor::deliver_due_after(int actor) {
     if (it->receiver == actor && !it->before && it->firing <= done) {
       ex_->run_handler(actor, it->method, it->args);
       ++stats_.delivered;
+      if (obs::ThreadBuffer* tb = ex_->trace_buffer()) {
+        tb->emit(ex_->recorder()->now_ns(), obs::EventKind::MessageDeliver,
+                 actor, it->firing);
+      }
       stats_.deliveries.push_back(
           {it->portal, it->method, g.actors[static_cast<std::size_t>(actor)].name,
            it->firing, false});

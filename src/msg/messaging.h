@@ -50,6 +50,10 @@ class MessagingExecutor {
   explicit MessagingExecutor(ir::NodeP root,
                              sched::Engine engine = sched::Engine::Auto);
 
+  // Full-options form: engine, tracing, op counting.  The message_sink field
+  // is overwritten -- teleport delivery is this class's whole job.
+  MessagingExecutor(ir::NodeP root, sched::ExecOptions opts);
+
   // Register `receiver_filter` (leaf filter name) on a portal.
   void register_receiver(const std::string& portal,
                          const std::string& receiver_filter);

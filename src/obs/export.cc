@@ -1,0 +1,326 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/jsonlite.h"
+
+namespace sit::obs {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string label(const std::vector<std::string>& names, std::int32_t id,
+                  const char* fallback) {
+  if (id >= 0 && static_cast<std::size_t>(id) < names.size()) {
+    return names[static_cast<std::size_t>(id)];
+  }
+  return std::string(fallback) + std::to_string(id);
+}
+
+struct TaggedEvent {
+  TraceEvent ev;
+  int tid;
+};
+
+void append_event(std::ostringstream& o, bool& first, const TaggedEvent& te,
+                  const std::vector<std::string>& actor_names,
+                  const std::vector<std::string>& edge_names) {
+  const TraceEvent& e = te.ev;
+  const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+  char ts[48];
+  std::snprintf(ts, sizeof ts, "%.3f", ts_us);
+
+  std::string name;
+  std::string cat;
+  char ph = 'i';
+  std::string args;
+  switch (e.kind) {
+    case EventKind::FireBegin:
+    case EventKind::FireEnd:
+      name = label(actor_names, e.id, "actor");
+      cat = "fire";
+      ph = e.kind == EventKind::FireBegin ? 'B' : 'E';
+      break;
+    case EventKind::WaitBegin:
+    case EventKind::WaitEnd:
+      name = std::string("wait:") + to_string(static_cast<WaitKind>(e.arg));
+      cat = "stall";
+      ph = e.kind == EventKind::WaitBegin ? 'B' : 'E';
+      args = "{\"actor\": \"" + escape(label(actor_names, e.id, "actor")) + "\"}";
+      break;
+    case EventKind::PushBatch:
+    case EventKind::PopBatch:
+      name = e.kind == EventKind::PushBatch ? "push" : "pop";
+      cat = "channel";
+      args = "{\"edge\": \"" + escape(label(edge_names, e.id, "edge")) +
+             "\", \"items\": " + std::to_string(e.arg) + "}";
+      break;
+    case EventKind::MessageSend:
+    case EventKind::MessageDeliver:
+      name = e.kind == EventKind::MessageSend ? "msg-send" : "msg-deliver";
+      cat = "teleport";
+      args = "{\"actor\": \"" + escape(label(actor_names, e.id, "actor")) +
+             "\", \"firing\": " + std::to_string(e.arg) + "}";
+      break;
+    case EventKind::Phase:
+      name = std::string("phase:") + to_string(static_cast<PhaseId>(e.id));
+      cat = "phase";
+      break;
+  }
+
+  if (!first) o << ",\n";
+  first = false;
+  o << "    {\"name\": \"" << escape(name) << "\", \"cat\": \"" << cat
+    << "\", \"ph\": \"" << ph << "\", \"ts\": " << ts
+    << ", \"pid\": 0, \"tid\": " << te.tid;
+  if (ph == 'i') o << ", \"s\": \"t\"";
+  if (!args.empty()) o << ", \"args\": " << args;
+  o << "}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Recorder& rec,
+                              const std::vector<std::string>& actor_names,
+                              const std::vector<std::string>& edge_names,
+                              const std::string& app,
+                              const std::string& engine) {
+  // Concatenate per-thread logs (each already time-ordered), then stable-sort
+  // by timestamp: equal-timestamp events of one thread keep their emission
+  // order, so B never migrates past its E.
+  std::vector<TaggedEvent> evs;
+  for (const ThreadBuffer* b : rec.buffers()) {
+    for (const TraceEvent& e : b->events()) {
+      evs.push_back(TaggedEvent{e, b->tid()});
+    }
+  }
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const TaggedEvent& x, const TaggedEvent& y) {
+                     return x.ev.ts_ns < y.ev.ts_ns;
+                   });
+
+  std::ostringstream o;
+  o << "{\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (const TaggedEvent& te : evs) {
+    append_event(o, first, te, actor_names, edge_names);
+  }
+  o << "\n  ],\n";
+  o << "  \"displayTimeUnit\": \"ms\",\n";
+  o << "  \"otherData\": {\"app\": \"" << escape(app) << "\", \"engine\": \""
+    << escape(engine) << "\", \"dropped_events\": " << rec.total_dropped()
+    << "}\n}\n";
+  return o.str();
+}
+
+bool validate_chrome_trace(const std::string& text, std::string* error) {
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+
+  json::Value root;
+  std::string perr;
+  if (!json::parse(text, &root, &perr)) return fail("invalid JSON: " + perr);
+  if (!root.is_object()) return fail("top level is not an object");
+  const json::Value* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("missing traceEvents array");
+  }
+
+  // Per-(pid,tid): a stack of open B names and the last timestamp seen.
+  struct Track {
+    std::vector<std::string> open;
+    double last_ts{-1e300};
+  };
+  std::map<std::pair<double, double>, Track> tracks;
+
+  for (std::size_t i = 0; i < events->arr.size(); ++i) {
+    const json::Value& e = events->arr[i];
+    const std::string at = "event " + std::to_string(i);
+    if (!e.is_object()) return fail(at + " is not an object");
+    const json::Value* ph = e.find("ph");
+    const json::Value* ts = e.find("ts");
+    const json::Value* pid = e.find("pid");
+    const json::Value* tid = e.find("tid");
+    const json::Value* name = e.find("name");
+    if (ph == nullptr || !ph->is_string() || ph->str.size() != 1) {
+      return fail(at + ": missing ph");
+    }
+    if (ts == nullptr || !ts->is_number()) return fail(at + ": missing ts");
+    if (pid == nullptr || !pid->is_number()) return fail(at + ": missing pid");
+    if (tid == nullptr || !tid->is_number()) return fail(at + ": missing tid");
+    if (name == nullptr || !name->is_string() || name->str.empty()) {
+      return fail(at + ": missing name");
+    }
+
+    Track& tr = tracks[{pid->number, tid->number}];
+    if (ts->number < tr.last_ts) {
+      return fail(at + ": timestamps not monotone on tid " +
+                  std::to_string(tid->number));
+    }
+    tr.last_ts = ts->number;
+
+    switch (ph->str[0]) {
+      case 'B':
+        tr.open.push_back(name->str);
+        break;
+      case 'E':
+        if (tr.open.empty()) {
+          return fail(at + ": E without matching B on tid " +
+                      std::to_string(tid->number));
+        }
+        if (tr.open.back() != name->str) {
+          return fail(at + ": E name '" + name->str + "' does not match open B '" +
+                      tr.open.back() + "'");
+        }
+        tr.open.pop_back();
+        break;
+      case 'i':
+      case 'I':
+      case 'X':
+      case 'C':
+      case 'M':
+        break;
+      default:
+        return fail(at + ": unknown phase '" + ph->str + "'");
+    }
+  }
+
+  for (const auto& [key, tr] : tracks) {
+    if (!tr.open.empty()) {
+      return fail("unclosed B event '" + tr.open.back() + "' on tid " +
+                  std::to_string(key.second));
+    }
+  }
+  return true;
+}
+
+std::string profile_report(const MetricsSnapshot& m) {
+  std::ostringstream o;
+  char line[256];
+
+  o << "== streamprof: " << m.app << " (engine=" << m.engine
+    << ", threads=" << m.threads << ") ==\n";
+  if (m.threaded) {
+    std::snprintf(line, sizeof line,
+                  "threaded: yes (%d workers, predicted speedup %.2fx)\n",
+                  m.threads, m.predicted_speedup);
+    o << line;
+  } else {
+    o << "threaded: no (" << m.fallback;
+    if (!m.fallback_detail.empty()) o << ": " << m.fallback_detail;
+    o << ")\n";
+  }
+
+  std::int64_t total_wall = 0;
+  double total_calib = 0;
+  for (const ActorSnapshot& a : m.actors) {
+    total_wall += a.wall_ns;
+    total_calib += a.calib_cycles;
+  }
+
+  // Hot actors, by measured wall time when we have it, else by the
+  // calibration cost table the partitioners use.
+  std::vector<const ActorSnapshot*> order;
+  order.reserve(m.actors.size());
+  for (const ActorSnapshot& a : m.actors) order.push_back(&a);
+  std::stable_sort(order.begin(), order.end(),
+                   [total_wall](const ActorSnapshot* x, const ActorSnapshot* y) {
+                     if (total_wall > 0) return x->wall_ns > y->wall_ns;
+                     return x->calib_cycles > y->calib_cycles;
+                   });
+
+  o << "\nhot actors";
+  o << (total_wall > 0 ? " (by measured wall time):\n"
+                       : " (no timing captured; by calibration cycles):\n");
+  std::snprintf(line, sizeof line, "%-28s %6s %10s %8s %9s %11s %13s %6s\n",
+                "actor", "wrk", "firings", "wall%", "wall-ms", "ns/firing",
+                "calib-cycles", "cal%");
+  o << line;
+  int shown = 0;
+  for (const ActorSnapshot* a : order) {
+    if (++shown > 24) {
+      o << "  ... " << (order.size() - 24) << " more\n";
+      break;
+    }
+    const double wall_pct =
+        total_wall > 0 ? 100.0 * static_cast<double>(a->wall_ns) /
+                             static_cast<double>(total_wall)
+                       : 0.0;
+    const double cal_pct = total_calib > 0 ? 100.0 * a->calib_cycles / total_calib
+                                           : 0.0;
+    const double per_fire =
+        a->firings > 0 ? static_cast<double>(a->wall_ns) /
+                             static_cast<double>(a->firings)
+                       : 0.0;
+    std::snprintf(line, sizeof line,
+                  "%-28.28s %6d %10" PRId64 " %7.1f%% %9.3f %11.0f %13.0f %5.1f%%\n",
+                  a->name.c_str(), a->worker, a->firings, wall_pct,
+                  static_cast<double>(a->wall_ns) / 1e6, per_fire,
+                  a->calib_cycles, cal_pct);
+    o << line;
+  }
+
+  if (!m.workers.empty()) {
+    o << "\nworker utilization (steady state):\n";
+    std::snprintf(line, sizeof line, "%6s %7s %9s %9s %9s %6s\n", "worker",
+                  "actors", "wall-ms", "busy-ms", "wait-ms", "util");
+    o << line;
+    for (const WorkerSnapshot& w : m.workers) {
+      std::snprintf(line, sizeof line,
+                    "%6d %7d %9.3f %9.3f %9.3f %5.1f%%\n", w.id, w.actors,
+                    static_cast<double>(w.wall_ns) / 1e6,
+                    static_cast<double>(w.wall_ns - w.wait_ns) / 1e6,
+                    static_cast<double>(w.wait_ns) / 1e6,
+                    100.0 * w.utilization());
+      o << line;
+    }
+  }
+
+  // Busiest queues: peak live items per edge.
+  std::vector<const EdgeSnapshot*> eorder;
+  for (const EdgeSnapshot& e : m.edges) eorder.push_back(&e);
+  std::stable_sort(eorder.begin(), eorder.end(),
+                   [](const EdgeSnapshot* x, const EdgeSnapshot* y) {
+                     return x->peak_items > y->peak_items;
+                   });
+  o << "\nbusiest channels:\n";
+  std::snprintf(line, sizeof line, "%-40s %12s %12s %10s %5s\n", "edge",
+                "pushed", "popped", "peak", "ring");
+  o << line;
+  shown = 0;
+  for (const EdgeSnapshot* e : eorder) {
+    if (++shown > 12) {
+      o << "  ... " << (eorder.size() - 12) << " more\n";
+      break;
+    }
+    std::snprintf(line, sizeof line, "%-40.40s %12" PRId64 " %12" PRId64
+                  " %10" PRId64 " %5s\n",
+                  e->name.c_str(), e->pushed, e->popped, e->peak_items,
+                  e->ring ? "yes" : "no");
+    o << line;
+  }
+
+  if (m.trace_events > 0 || m.trace_dropped > 0) {
+    o << "\ntrace: " << m.trace_events << " events";
+    if (m.trace_dropped > 0) o << " (" << m.trace_dropped << " dropped)";
+    o << "\n";
+  }
+  return o.str();
+}
+
+}  // namespace sit::obs

@@ -1,0 +1,43 @@
+#pragma once
+// Trace and profile exporters.
+//
+// Two consumers, two formats:
+//   * chrome_trace_json -- the Chrome trace-event JSON array format, loadable
+//     in Perfetto / chrome://tracing: firings become matched B/E duration
+//     events on per-thread tracks, spin waits become B/E events in a "stall"
+//     category, channel batches / teleport messages / phase markers become
+//     instant events.  Timestamps are microseconds relative to the
+//     recorder's epoch; events are stably sorted by timestamp so every
+//     per-thread subsequence stays monotone with B preceding its E.
+//   * profile_report -- a human-readable hot-actor table (wall time, firing
+//     counts, calibration cycles, histogram tail) plus per-worker
+//     steady-state utilization, for terminal consumption by streamprof.
+//
+// validate_chrome_trace is the structural checker CI runs over emitted
+// traces: full JSON parse (obs/jsonlite.h), required keys per event,
+// per-thread timestamp monotonicity, and matched, properly nested B/E pairs.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sit::obs {
+
+// Serialize a recorder's events.  `actor_names` / `edge_names` label events
+// by id (out-of-range ids fall back to "actor<N>" / "edge<N>").  `app` and
+// `engine` are stamped into the trace's otherData block.
+std::string chrome_trace_json(const Recorder& rec,
+                              const std::vector<std::string>& actor_names,
+                              const std::vector<std::string>& edge_names,
+                              const std::string& app, const std::string& engine);
+
+// Structural validation of a Chrome trace-event file; on failure returns
+// false and describes the first violation in `*error`.
+bool validate_chrome_trace(const std::string& text, std::string* error);
+
+// Human-readable hot-actor profile of a metrics snapshot.
+std::string profile_report(const MetricsSnapshot& m);
+
+}  // namespace sit::obs

@@ -1,0 +1,221 @@
+#include "obs/jsonlite.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sit::obs::json {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : t_(text), err_(err) {}
+
+  bool run(Value* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != t_.size()) return fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (err_ != nullptr) {
+      *err_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < t_.size() &&
+           (t_[pos_] == ' ' || t_[pos_] == '\t' || t_[pos_] == '\n' ||
+            t_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < t_.size() ? t_[pos_] : '\0'; }
+
+  bool literal(std::string_view word) {
+    if (t_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(Value* out) {
+    if (++depth_ > 64) return fail("nesting too deep");
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(out); break;
+      case '[': ok = array(out); break;
+      case '"':
+        out->kind = Value::Kind::String;
+        ok = string(&out->str);
+        break;
+      case 't':
+        out->kind = Value::Kind::Bool;
+        out->boolean = true;
+        ok = literal("true");
+        break;
+      case 'f':
+        out->kind = Value::Kind::Bool;
+        out->boolean = false;
+        ok = literal("false");
+        break;
+      case 'n':
+        out->kind = Value::Kind::Null;
+        ok = literal("null");
+        break;
+      default: ok = number(out); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool number(Value* out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected number");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit required after decimal point");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit required in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    out->kind = Value::Kind::Number;
+    out->number = std::strtod(std::string(t_.substr(start, pos_ - start)).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (peek() != '"') return fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < t_.size()) {
+      const char c = t_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= t_.size()) return fail("dangling escape");
+        const char e = t_[pos_];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= t_.size()) return fail("truncated \\u escape");
+            for (int k = 1; k <= 4; ++k) {
+              if (!std::isxdigit(static_cast<unsigned char>(t_[pos_ + k]))) {
+                return fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            out->push_back('?');  // decoded placeholder; emitters are ASCII
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++pos_;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool array(Value* out) {
+    out->kind = Value::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      out->arr.emplace_back();
+      skip_ws();
+      if (!value(&out->arr.back())) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool object(Value* out) {
+    out->kind = Value::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (peek() != ':') return fail("expected ':' after object key");
+      ++pos_;
+      skip_ws();
+      out->obj.emplace_back(std::move(key), Value{});
+      if (!value(&out->obj.back().second)) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view t_;
+  std::string* err_;
+  std::size_t pos_{0};
+  int depth_{0};
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value* out, std::string* err) {
+  *out = Value{};
+  return Parser(text, err).run(out);
+}
+
+}  // namespace sit::obs::json

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal JSON reader.
+//
+// Just enough of RFC 8259 to validate and walk the files this repo itself
+// emits (Chrome trace-event JSON, metrics snapshots, BENCH_*.json): all
+// value kinds, nested arrays/objects, string escapes (\uXXXX accepted and
+// decoded as a single placeholder character -- the emitters never produce
+// non-ASCII).  No external dependency; errors carry a byte offset.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sit::obs::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind{Kind::Null};
+  bool boolean{false};
+  double number{0};
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    if (kind != Kind::Object) return nullptr;
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] bool is_number() const { return kind == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::Object; }
+};
+
+// Parse `text` into `*out`.  On failure returns false and, when `err` is
+// non-null, describes the problem and its byte offset.
+bool parse(std::string_view text, Value* out, std::string* err);
+
+}  // namespace sit::obs::json

@@ -1,0 +1,79 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace sit::obs {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream o;
+  o << "{\n";
+  o << "  \"app\": \"" << escape(app) << "\",\n";
+  o << "  \"engine\": \"" << escape(engine) << "\",\n";
+  o << "  \"threads\": " << threads << ",\n";
+  o << "  \"threaded\": " << (threaded ? "true" : "false") << ",\n";
+  o << "  \"fallback\": \"" << escape(fallback) << "\",\n";
+  o << "  \"fallback_detail\": \"" << escape(fallback_detail) << "\",\n";
+  o << "  \"predicted_speedup\": " << predicted_speedup << ",\n";
+  o << "  \"trace_events\": " << trace_events << ",\n";
+  o << "  \"trace_dropped\": " << trace_dropped << ",\n";
+
+  o << "  \"actors\": [\n";
+  for (std::size_t i = 0; i < actors.size(); ++i) {
+    const ActorSnapshot& a = actors[i];
+    o << "    {\"name\": \"" << escape(a.name) << "\", \"firings\": " << a.firings
+      << ", \"worker\": " << a.worker << ", \"calib_cycles\": " << a.calib_cycles
+      << ", \"wall_ns\": " << a.wall_ns << ", \"max_ns\": " << a.max_ns
+      << ", \"ops\": {\"int_ops\": " << a.ops.int_ops
+      << ", \"flops\": " << a.ops.flops << ", \"divs\": " << a.ops.divs
+      << ", \"trans\": " << a.ops.trans << ", \"mem\": " << a.ops.mem
+      << ", \"channel\": " << a.ops.channel << "}";
+    if (!a.hist.empty()) {
+      o << ", \"hist_ns_log2\": [";
+      for (std::size_t b = 0; b < a.hist.size(); ++b) {
+        o << a.hist[b] << (b + 1 < a.hist.size() ? ", " : "");
+      }
+      o << "]";
+    }
+    o << "}" << (i + 1 < actors.size() ? "," : "") << "\n";
+  }
+  o << "  ],\n";
+
+  o << "  \"edges\": [\n";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const EdgeSnapshot& e = edges[i];
+    o << "    {\"name\": \"" << escape(e.name) << "\", \"src\": " << e.src
+      << ", \"dst\": " << e.dst << ", \"pushed\": " << e.pushed
+      << ", \"popped\": " << e.popped << ", \"peak_items\": " << e.peak_items
+      << ", \"ring\": " << (e.ring ? "true" : "false") << "}"
+      << (i + 1 < edges.size() ? "," : "") << "\n";
+  }
+  o << "  ],\n";
+
+  o << "  \"workers\": [\n";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerSnapshot& w = workers[i];
+    o << "    {\"id\": " << w.id << ", \"actors\": " << w.actors
+      << ", \"wall_ns\": " << w.wall_ns << ", \"wait_ns\": " << w.wait_ns
+      << ", \"iters\": " << w.iters << ", \"utilization\": " << w.utilization()
+      << "}" << (i + 1 < workers.size() ? "," : "") << "\n";
+  }
+  o << "  ]\n";
+  o << "}\n";
+  return o.str();
+}
+
+}  // namespace sit::obs

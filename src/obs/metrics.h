@@ -1,0 +1,76 @@
+#pragma once
+// Metrics registry snapshots.
+//
+// The live counters behind these snapshots are scattered where they are
+// cheapest to maintain -- firing tallies and OpCounts in the executors,
+// cumulative push/pop counters and high-water marks in the channels/rings,
+// wall-ns firing stats and worker busy/wait accounting in the obs::Recorder.
+// A MetricsSnapshot pulls them together quiescently (no worker running) into
+// one value type that serializes to JSON, so streamprof, the bench binaries,
+// and tests all share a single schema.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "runtime/opcounts.h"
+
+namespace sit::obs {
+
+struct ActorSnapshot {
+  std::string name;
+  std::int64_t firings{0};
+  runtime::OpCounts ops;       // abstract-op tallies (zero when count_ops off)
+  double calib_cycles{0};      // weighted() cycles -- the partitioners' cost
+  int worker{-1};              // owning worker in the threaded runtime
+  // Timing (zeros unless tracing was enabled).
+  std::int64_t wall_ns{0};
+  std::int64_t max_ns{0};
+  std::vector<std::int64_t> hist;  // log2 ns-per-firing buckets
+};
+
+struct EdgeSnapshot {
+  std::string name;  // "src->dst" using actor names; "input"/"output" at the boundary
+  int src{-1};
+  int dst{-1};
+  std::int64_t pushed{0};       // cumulative n(t)
+  std::int64_t popped{0};       // cumulative p(t)
+  std::int64_t peak_items{0};   // high-water occupancy
+  bool ring{false};             // migrated to an SPSC ring
+};
+
+struct WorkerSnapshot {
+  int id{0};
+  int actors{0};
+  std::int64_t wall_ns{0};
+  std::int64_t wait_ns{0};
+  std::int64_t iters{0};
+  // Steady-state utilization: 1 - wait/wall (0 when the worker never ran).
+  [[nodiscard]] double utilization() const {
+    return wall_ns > 0
+               ? 1.0 - static_cast<double>(wait_ns) / static_cast<double>(wall_ns)
+               : 0.0;
+  }
+};
+
+struct MetricsSnapshot {
+  std::string app;     // filled by the caller (streamprof / bench)
+  std::string engine;  // "vm" or "tree"
+  int threads{1};
+  bool threaded{false};
+  std::string fallback;         // stable ThreadedReport reason name
+  std::string fallback_detail;  // human-readable detail, may be empty
+  double predicted_speedup{0};
+
+  std::vector<ActorSnapshot> actors;
+  std::vector<EdgeSnapshot> edges;
+  std::vector<WorkerSnapshot> workers;
+
+  std::int64_t trace_events{0};
+  std::int64_t trace_dropped{0};
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace sit::obs

@@ -54,12 +54,14 @@ namespace {
 template <bool kCount>
 void VmBound::run_program(const CompiledProgram& p, ir::InTape* in,
                           ir::OutTape* out, OpCounts* counts,
-                          const MessageSink* sink) {
+                          const MessageSink* sink,
+                          const obs::FiringTrace* trace) {
   Value* const regs = regs_.data();
   std::copy(p.reg_init.begin(), p.reg_init.end(), regs);
   const VmInstr* const code = p.code.data();
   const bool debug = debug_channel_checks();
   std::int64_t pops = 0;
+  std::int64_t pushes = 0;
   std::int32_t pc = 0;
 
   // Resolved at compile time where the type is static; ByResult tests the
@@ -159,6 +161,7 @@ void VmBound::run_program(const CompiledProgram& p, ir::InTape* in,
       case VmOp::Push:
         if (!out) throw std::runtime_error("push outside work function");
         if constexpr (kCount) ++counts->channel;
+        ++pushes;
         out->push_item(regs[I.dst].as_double());
         ++pc;
         break;
@@ -225,23 +228,35 @@ void VmBound::run_program(const CompiledProgram& p, ir::InTape* in,
         break;
       }
       case VmOp::Halt:
+        // Dispatch-loop channel attribution: the measured (not declared)
+        // traffic of this firing, reported before the loop exits.
+        if (trace != nullptr && trace->tb != nullptr) {
+          const std::int64_t ts = trace->rec->now_ns();
+          if (pops > 0) {
+            trace->tb->emit(ts, obs::EventKind::PopBatch, trace->in_edge, pops);
+          }
+          if (pushes > 0) {
+            trace->tb->emit(ts, obs::EventKind::PushBatch, trace->out_edge,
+                            pushes);
+          }
+        }
         return;
     }
   }
 }
 
 void VmBound::run_work(ir::InTape& in, ir::OutTape& out, OpCounts* counts,
-                       const MessageSink* sink) {
+                       const MessageSink* sink, const obs::FiringTrace* trace) {
   if (counts) {
-    run_program<true>(prog_->work, &in, &out, counts, sink);
+    run_program<true>(prog_->work, &in, &out, counts, sink, trace);
   } else {
-    run_program<false>(prog_->work, &in, &out, nullptr, sink);
+    run_program<false>(prog_->work, &in, &out, nullptr, sink, trace);
   }
 }
 
 void VmBound::run_init() {
   if (!prog_->has_init) return;
-  run_program<false>(prog_->init, nullptr, nullptr, nullptr, nullptr);
+  run_program<false>(prog_->init, nullptr, nullptr, nullptr, nullptr, nullptr);
 }
 
 FilterState Vm::init_state(const ir::FilterSpec& spec,

@@ -28,6 +28,7 @@
 
 #include "ir/filter.h"
 #include "ir/value.h"
+#include "obs/trace.h"
 #include "runtime/interp.h"
 #include "runtime/opcounts.h"
 
@@ -113,8 +114,11 @@ class VmBound {
 
   // One invocation of work.  `counts` may be null (counting is skipped
   // entirely); `sink` receives Send messages as in the tree interpreter.
+  // `trace`, when non-null, makes the dispatch loop report the firing's
+  // measured channel batches (items popped/pushed) as trace events.
   void run_work(ir::InTape& in, ir::OutTape& out, OpCounts* counts,
-                const MessageSink* sink = nullptr);
+                const MessageSink* sink = nullptr,
+                const obs::FiringTrace* trace = nullptr);
 
   // Run the compiled init function (no tapes; init may not touch channels).
   void run_init();
@@ -124,7 +128,8 @@ class VmBound {
  private:
   template <bool kCount>
   void run_program(const CompiledProgram& p, ir::InTape* in, ir::OutTape* out,
-                   OpCounts* counts, const MessageSink* sink);
+                   OpCounts* counts, const MessageSink* sink,
+                   const obs::FiringTrace* trace);
 
   CompiledFilterP prog_;
   std::vector<ir::Value*> scalars_;              // slot -> &state.scalars[name]

@@ -53,6 +53,24 @@ int resolve_threads(int requested) {
   return requested < 1 ? 1 : requested;
 }
 
+bool resolve_trace(TraceMode mode) {
+  if (!obs::kCompiledIn) return false;
+  if (mode != TraceMode::Auto) return mode == TraceMode::On;
+  const char* env = std::getenv("SIT_TRACE");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+         std::strcmp(env, "true") == 0;
+}
+
+int resolve_stall_ms(int requested) {
+  if (requested == 0) {
+    const char* env = std::getenv("SIT_STALL_MS");
+    requested = env != nullptr ? std::atoi(env) : 120000;
+    if (requested == 0) requested = 120000;
+  }
+  return requested;
+}
+
 Executor::Executor(ir::NodeP root, ExecOptions opts)
     : root_(std::move(root)), opts_(std::move(opts)) {
   // Full static-analysis gate: structural validation plus the dataflow and
@@ -69,6 +87,11 @@ Executor::Executor(ir::NodeP root, ExecOptions opts)
   }
 
   engine_ = resolve_engine(opts_.engine);
+  if (resolve_trace(opts_.trace)) {
+    rec_ = std::make_unique<obs::Recorder>();
+    rec_->attach_actors(g_.actors.size());
+    tb_ = rec_->thread_buffer(0);
+  }
 
   const std::size_t n = g_.actors.size();
   fstate_.resize(n);
@@ -141,6 +164,18 @@ void Executor::fire(int actor) {
   const FlatActor& a = g_.actors[ai];
   runtime::OpCounts* counts = opts_.count_ops ? &ops_[ai] : nullptr;
 
+  // Tracing: one branch when disabled; two clock reads plus a handful of
+  // buffer appends per firing when enabled.  VM-backed filters report their
+  // channel batches from inside the dispatch loop (measured); everything
+  // else reports the static SDF rates below.
+  obs::ThreadBuffer* const tb = tb_;
+  std::int64_t t0 = 0;
+  bool vm_traced = false;
+  if (tb != nullptr) {
+    t0 = rec_->now_ns();
+    tb->emit(t0, obs::EventKind::FireBegin, actor);
+  }
+
   switch (a.kind) {
     case FlatActor::Kind::Filter: {
       ir::InTape* in = &g_null_in;
@@ -154,7 +189,15 @@ void Executor::fire(int actor) {
       const runtime::MessageSink* sink =
           opts_.message_sink ? &opts_.message_sink : nullptr;
       if (vmf_[ai]) {
-        vmf_[ai]->run_work(*in, *out, counts, sink);
+        if (tb != nullptr) {
+          obs::FiringTrace tr{tb, rec_.get(),
+                              a.in_edges.empty() ? -1 : a.in_edges[0],
+                              a.out_edges.empty() ? -1 : a.out_edges[0]};
+          vmf_[ai]->run_work(*in, *out, counts, sink, &tr);
+          vm_traced = true;
+        } else {
+          vmf_[ai]->run_work(*in, *out, counts, sink);
+        }
       } else {
         Interp::run_work(a.node->filter, fstate_[ai], *in, *out, counts, sink);
       }
@@ -214,6 +257,24 @@ void Executor::fire(int actor) {
   }
   ++fired_[ai];
   for (const auto& ch : chans_) ch->note_high_water();
+
+  if (tb != nullptr) {
+    const std::int64_t t1 = rec_->now_ns();
+    if (!vm_traced) {
+      for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
+        if (a.in_edges[p] >= 0 && a.in_rate[p] > 0) {
+          tb->emit(t1, obs::EventKind::PopBatch, a.in_edges[p], a.in_rate[p]);
+        }
+      }
+      for (std::size_t p = 0; p < a.out_edges.size(); ++p) {
+        if (a.out_edges[p] >= 0 && a.out_rate[p] > 0) {
+          tb->emit(t1, obs::EventKind::PushBatch, a.out_edges[p], a.out_rate[p]);
+        }
+      }
+    }
+    tb->emit(t1, obs::EventKind::FireEnd, actor);
+    rec_->actor_stats(actor).record(t1 - t0);
+  }
 }
 
 void Executor::run_handler(int actor, const std::string& method,
@@ -252,6 +313,10 @@ void Executor::run_epoch(const std::vector<std::int64_t>& quota_in) {
 
 void Executor::run_init() {
   if (init_done_) return;
+  if (tb_ != nullptr) {
+    tb_->emit(rec_->now_ns(), obs::EventKind::Phase,
+              static_cast<std::int32_t>(obs::PhaseId::Init));
+  }
   ensure_input_for(sched_.input_for_init);
   run_epoch(sched_.init_fires);
   init_done_ = true;
@@ -259,6 +324,11 @@ void Executor::run_init() {
 
 std::vector<double> Executor::run_steady(int n) {
   run_init();
+  if (tb_ != nullptr && !steady_marked_ && n > 0) {
+    tb_->emit(rec_->now_ns(), obs::EventKind::Phase,
+              static_cast<std::int32_t>(obs::PhaseId::Steady));
+    steady_marked_ = true;
+  }
   for (int i = 0; i < n; ++i) {
     ++steady_run_;
     ensure_input_for(sched_.input_for_init +
@@ -281,6 +351,54 @@ runtime::OpCounts Executor::total_ops() const {
   runtime::OpCounts t;
   for (const auto& o : ops_) t += o;
   return t;
+}
+
+obs::MetricsSnapshot Executor::metrics_snapshot() const {
+  obs::MetricsSnapshot m;
+  m.engine = engine_ == Engine::Vm ? "vm" : "tree";
+  m.threads = 1;
+  m.threaded = false;
+  m.fallback = "none";
+
+  m.actors.reserve(g_.actors.size());
+  for (std::size_t i = 0; i < g_.actors.size(); ++i) {
+    obs::ActorSnapshot a;
+    a.name = g_.actors[i].name;
+    a.firings = fired_[i];
+    a.ops = ops_[i];
+    a.calib_cycles = ops_[i].weighted();
+    a.worker = 0;
+    if (rec_ && i < rec_->all_actor_stats().size()) {
+      const obs::FiringStats& fs = rec_->all_actor_stats()[i];
+      a.wall_ns = fs.wall_ns;
+      a.max_ns = fs.max_ns;
+      a.hist.assign(fs.hist.begin(), fs.hist.end());
+    }
+    m.actors.push_back(std::move(a));
+  }
+
+  m.edges.reserve(g_.edges.size());
+  for (std::size_t e = 0; e < g_.edges.size(); ++e) {
+    const auto& ed = g_.edges[e];
+    obs::EdgeSnapshot s;
+    s.src = ed.src;
+    s.dst = ed.dst;
+    s.name = (ed.src >= 0 ? g_.actors[static_cast<std::size_t>(ed.src)].name
+                          : std::string("input")) +
+             "->" +
+             (ed.dst >= 0 ? g_.actors[static_cast<std::size_t>(ed.dst)].name
+                          : std::string("output"));
+    s.pushed = chans_[e]->total_pushed();
+    s.popped = chans_[e]->total_popped();
+    s.peak_items = static_cast<std::int64_t>(chans_[e]->high_water());
+    m.edges.push_back(std::move(s));
+  }
+
+  if (rec_) {
+    m.trace_events = rec_->total_events();
+    m.trace_dropped = rec_->total_dropped();
+  }
+  return m;
 }
 
 }  // namespace sit::sched

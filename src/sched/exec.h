@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "ir/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/channel.h"
 #include "runtime/flatgraph.h"
 #include "runtime/interp.h"
@@ -42,11 +44,33 @@ Engine resolve_engine(Engine e);
 // ignores the field.
 int resolve_threads(int requested);
 
+// Event tracing + timing metrics (src/obs).  Auto consults the SIT_TRACE
+// environment variable ("1"/"on"/"true" enable) and defaults to Off; the
+// explicit values let tests and tools pin the behavior regardless of the
+// environment.
+enum class TraceMode { Auto, Off, On };
+
+// Resolve Auto against SIT_TRACE; always false when the instrumentation was
+// compiled out (cmake -DSIT_OBS=OFF).
+bool resolve_trace(TraceMode mode);
+
+// Resolve the threaded runtime's stall-abort threshold in milliseconds:
+// 0 = consult SIT_STALL_MS, which itself defaults to 120000 (two minutes);
+// negative = never abort (spin forever).
+int resolve_stall_ms(int requested);
+
 struct ExecOptions {
   bool count_ops{true};
   Engine engine{Engine::Auto};
   // Worker threads for ThreadedExecutor: 0 = resolve from SIT_THREADS.
   int threads{0};
+  // Event tracing + per-firing timing (obs::Recorder).
+  TraceMode trace{TraceMode::Auto};
+  // Threaded runtime stall detector: abort after this many ms without
+  // progress in a spin wait (0 = SIT_STALL_MS / default, < 0 = never), and
+  // busy-spin this many times before starting to yield.
+  int stall_ms{0};
+  int spin_before_yield{128};
   // Receives teleport messages emitted by Send statements; delivery policy is
   // the msg module's job (the plain executor only forwards).
   runtime::MessageSink message_sink;
@@ -108,6 +132,18 @@ class Executor {
   }
   [[nodiscard]] runtime::OpCounts total_ops() const;
 
+  // --- observability --------------------------------------------------------
+  // Null unless tracing is enabled (ExecOptions::trace / SIT_TRACE).
+  [[nodiscard]] obs::Recorder* recorder() noexcept { return rec_.get(); }
+  [[nodiscard]] const obs::Recorder* recorder() const noexcept {
+    return rec_.get();
+  }
+  // The single-threaded executor's own event log (null when not tracing);
+  // MessagingExecutor appends teleport delivery events here.
+  [[nodiscard]] obs::ThreadBuffer* trace_buffer() noexcept { return tb_; }
+  // Quiescent metrics snapshot (actor/edge/timing tables; obs/metrics.h).
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
  private:
   void ensure_input_for(std::int64_t items_needed);
   void run_epoch(const std::vector<std::int64_t>& quota);
@@ -130,6 +166,10 @@ class Executor {
   std::int64_t input_fed_{0};
   std::int64_t steady_run_{0};
   bool init_done_{false};
+  bool steady_marked_{false};
+  // Tracing (null when disabled; tb_ is this executor's thread-0 buffer).
+  std::unique_ptr<obs::Recorder> rec_;
+  obs::ThreadBuffer* tb_{nullptr};
 };
 
 }  // namespace sit::sched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -51,28 +52,59 @@ NullOut g_null_out;
 // the join (only the first error is reported).
 struct Aborted {};
 
-// Spin with backoff until `ready()`.  Cooperative: yields after a short busy
-// phase so oversubscribed hosts (more workers than cores) keep making
-// progress, and bails out if another worker aborted or nothing happened for
-// a very long time (a bug's infinite hang becomes a test failure instead).
+// Spin with backoff until `ready()`.  Cooperative: yields after
+// `spin_before_yield` busy iterations so oversubscribed hosts (more workers
+// than cores) keep making progress, and bails out if another worker aborted
+// or nothing happened for `stall_ms` milliseconds (a bug's infinite hang
+// becomes a test failure instead); stall_ms < 0 disables the abort.
 template <typename Pred>
-void spin_until(const std::atomic<bool>& abort, Pred&& ready, const char* what) {
+void spin_until(const std::atomic<bool>& abort, Pred&& ready, const char* what,
+                int spin_before_yield, int stall_ms) {
   int spins = 0;
   std::chrono::steady_clock::time_point started{};
   while (!ready()) {
     if (abort.load(std::memory_order_acquire)) throw Aborted{};
-    if (++spins < 128) continue;
+    if (++spins < spin_before_yield) continue;
     std::this_thread::yield();
-    if ((spins & 2047) == 0) {
+    if (stall_ms >= 0 && (spins & 2047) == 0) {
       const auto now = std::chrono::steady_clock::now();
       if (started == std::chrono::steady_clock::time_point{}) {
         started = now;
-      } else if (now - started > std::chrono::seconds(120)) {
+      } else if (now - started > std::chrono::milliseconds(stall_ms)) {
         throw std::runtime_error(std::string("threaded runtime stalled: ") +
                                  what);
       }
     }
   }
+}
+
+// spin_until plus stall-interval tracing: a WaitBegin/WaitEnd pair brackets
+// the spin (emitted only when the predicate is not already satisfied, so an
+// uncontended wait stays event-free), and the waited nanoseconds accumulate
+// into *wait_ns for the worker's utilization accounting.
+template <typename Pred>
+void traced_spin(const std::atomic<bool>& abort, Pred&& ready, const char* what,
+                 int spin_before_yield, int stall_ms, obs::ThreadBuffer* tb,
+                 obs::Recorder* rec, std::int64_t* wait_ns, std::int32_t id,
+                 obs::WaitKind wk) {
+  if (ready()) return;
+  if (tb == nullptr) {
+    spin_until(abort, ready, what, spin_before_yield, stall_ms);
+    return;
+  }
+  const std::int64_t t0 = rec->now_ns();
+  tb->emit(t0, obs::EventKind::WaitBegin, id, static_cast<std::int64_t>(wk));
+  try {
+    spin_until(abort, ready, what, spin_before_yield, stall_ms);
+  } catch (...) {
+    const std::int64_t ta = rec->now_ns();
+    tb->emit(ta, obs::EventKind::WaitEnd, id, static_cast<std::int64_t>(wk));
+    *wait_ns += ta - t0;
+    throw;
+  }
+  const std::int64_t t1 = rec->now_ns();
+  tb->emit(t1, obs::EventKind::WaitEnd, id, static_cast<std::int64_t>(wk));
+  *wait_ns += t1 - t0;
 }
 
 bool stmt_sends(const ir::StmtP& s) {
@@ -100,49 +132,92 @@ std::int64_t rate_outof(const FlatActor& a, int edge) {
 
 }  // namespace
 
+const char* to_string(FallbackReason r) {
+  switch (r) {
+    case FallbackReason::None: return "none";
+    case FallbackReason::OneThread: return "one-thread";
+    case FallbackReason::MessageSink: return "message-sink";
+    case FallbackReason::TeleportHandlers: return "teleport-handlers";
+    case FallbackReason::TeleportSends: return "teleport-sends";
+    case FallbackReason::TooFewActors: return "too-few-actors";
+    case FallbackReason::InterleavedFirings: return "interleaved-firings";
+  }
+  return "?";
+}
+
+std::string ThreadedReport::to_string() const {
+  if (!threaded) {
+    std::string s = std::string("sequential fallback=") +
+                    sched::to_string(fallback);
+    if (!fallback_reason.empty()) s += " (" + fallback_reason + ")";
+    return s;
+  }
+  char speed[32];
+  std::snprintf(speed, sizeof(speed), "%.2f", predicted_speedup);
+  return "threaded threads=" + std::to_string(threads) +
+         " ring-edges=" + std::to_string(ring_edges) + " speedup=" + speed;
+}
+
 ThreadedExecutor::ThreadedExecutor(ir::NodeP root, ExecOptions opts)
     : root_(std::move(root)), opts_(std::move(opts)) {
   const int requested = resolve_threads(opts_.threads);
-  std::string refuse;
+  FallbackReason fb = FallbackReason::None;
+  std::string detail;
   if (requested <= 1) {
-    refuse = "one thread requested";
+    fb = FallbackReason::OneThread;
+    detail = "one thread requested";
   } else if (opts_.message_sink) {
-    refuse = "teleport message sink attached";
+    fb = FallbackReason::MessageSink;
+    detail = "teleport message sink attached";
   } else {
     // Same static-analysis gate as the sequential executor, then the
     // threaded-eligibility checks on the flattened graph.
     analysis::check_or_throw(root_);
     g_ = runtime::flatten(root_);
     sched_ = make_schedule(g_);
-    refuse = refusal_reason();
+    fb = refusal_reason(&detail);
   }
-  if (!refuse.empty()) {
+  if (fb != FallbackReason::None) {
     report_.threaded = false;
     report_.threads = 1;
-    report_.fallback_reason = refuse;
+    report_.fallback = fb;
+    report_.fallback_reason = detail;
     seq_ = std::make_unique<Executor>(root_, opts_);
     return;
   }
   threads_ = std::min<int>(requested, static_cast<int>(g_.actors.size()));
   report_.threaded = true;
   report_.threads = threads_;
+  stall_ms_ = resolve_stall_ms(opts_.stall_ms);
+  spin_yield_ = std::max(1, opts_.spin_before_yield);
   build_storage();
+  if (resolve_trace(opts_.trace)) {
+    rec_ = std::make_unique<obs::Recorder>();
+    rec_->attach_actors(g_.actors.size());
+    rec_->attach_workers(static_cast<std::size_t>(threads_));
+    tb0_ = rec_->thread_buffer(0);
+  }
 }
 
 ThreadedExecutor::~ThreadedExecutor() = default;
 
-std::string ThreadedExecutor::refusal_reason() const {
+FallbackReason ThreadedExecutor::refusal_reason(std::string* detail) const {
   for (const auto& a : g_.actors) {
     if (a.kind != FlatActor::Kind::Filter) continue;
     const ir::FilterSpec& spec = a.node->filter;
     if (!spec.handlers.empty()) {
-      return "filter '" + spec.name + "' has teleport handlers";
+      *detail = "filter '" + spec.name + "' has teleport handlers";
+      return FallbackReason::TeleportHandlers;
     }
     if (stmt_sends(spec.work) || stmt_sends(spec.init)) {
-      return "filter '" + spec.name + "' sends teleport messages";
+      *detail = "filter '" + spec.name + "' sends teleport messages";
+      return FallbackReason::TeleportSends;
     }
   }
-  if (g_.actors.size() < 2) return "graph has fewer than two actors";
+  if (g_.actors.size() < 2) {
+    *detail = "graph has fewer than two actors";
+    return FallbackReason::TooFewActors;
+  }
 
   // Single-appearance schedulability: simulate one steady state in the
   // global topological order with each actor firing its full repetition
@@ -179,8 +254,9 @@ std::string ThreadedExecutor::refusal_reason() const {
       std::int64_t need = sched_.reps[ai] * a.in_rate[p];
       if (a.is_filter()) need += a.peek_extra;
       if (cnt[static_cast<std::size_t>(e)] < need) {
-        return "actor '" + a.name +
-               "' needs interleaved firings in the steady state";
+        *detail = "actor '" + a.name +
+                  "' needs interleaved firings in the steady state";
+        return FallbackReason::InterleavedFirings;
       }
     }
     for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
@@ -192,7 +268,7 @@ std::string ThreadedExecutor::refusal_reason() const {
       if (e >= 0) cnt[static_cast<std::size_t>(e)] += sched_.reps[ai] * a.out_rate[p];
     }
   }
-  return "";
+  return FallbackReason::None;
 }
 
 void ThreadedExecutor::build_storage() {
@@ -336,9 +412,20 @@ bool ThreadedExecutor::can_fire(int actor) const {
   return true;
 }
 
-void ThreadedExecutor::fire_actor(int actor, OpCounts* counts) {
+void ThreadedExecutor::fire_actor(int actor, OpCounts* counts,
+                                  obs::ThreadBuffer* tb) {
   const auto ai = static_cast<std::size_t>(actor);
   const FlatActor& a = g_.actors[ai];
+
+  // Same tracing discipline as Executor::fire: one null test when disabled;
+  // VM-backed filters report measured channel batches from the dispatch
+  // loop, everything else reports the static SDF rates below.
+  std::int64_t t0 = 0;
+  bool vm_traced = false;
+  if (tb != nullptr) {
+    t0 = rec_->now_ns();
+    tb->emit(t0, obs::EventKind::FireBegin, actor);
+  }
 
   switch (a.kind) {
     case FlatActor::Kind::Filter: {
@@ -347,7 +434,15 @@ void ThreadedExecutor::fire_actor(int actor, OpCounts* counts) {
       ir::OutTape* out =
           out_tape(a.out_edges.empty() ? -1 : a.out_edges[0]);
       if (vmf_[ai]) {
-        vmf_[ai]->run_work(*in, *out, counts, nullptr);
+        if (tb != nullptr) {
+          obs::FiringTrace tr{tb, rec_.get(),
+                              a.in_edges.empty() ? -1 : a.in_edges[0],
+                              a.out_edges.empty() ? -1 : a.out_edges[0]};
+          vmf_[ai]->run_work(*in, *out, counts, nullptr, &tr);
+          vm_traced = true;
+        } else {
+          vmf_[ai]->run_work(*in, *out, counts, nullptr);
+        }
       } else {
         Interp::run_work(a.node->filter, fstate_[ai], *in, *out, counts,
                          nullptr);
@@ -416,6 +511,25 @@ void ThreadedExecutor::fire_actor(int actor, OpCounts* counts) {
       chans_[static_cast<std::size_t>(eid)]->note_high_water();
     }
   }
+
+  if (tb != nullptr) {
+    const std::int64_t t1 = rec_->now_ns();
+    if (!vm_traced) {
+      for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
+        if (a.in_edges[p] >= 0 && a.in_rate[p] > 0) {
+          tb->emit(t1, obs::EventKind::PopBatch, a.in_edges[p], a.in_rate[p]);
+        }
+      }
+      for (std::size_t p = 0; p < a.out_edges.size(); ++p) {
+        if (a.out_edges[p] >= 0 && a.out_rate[p] > 0) {
+          tb->emit(t1, obs::EventKind::PushBatch, a.out_edges[p],
+                   a.out_rate[p]);
+        }
+      }
+    }
+    tb->emit(t1, obs::EventKind::FireEnd, actor);
+    rec_->actor_stats(actor).record(t1 - t0);
+  }
 }
 
 void ThreadedExecutor::run_epoch(const std::vector<std::int64_t>& quota_in) {
@@ -427,7 +541,7 @@ void ThreadedExecutor::run_epoch(const std::vector<std::int64_t>& quota_in) {
       const auto ai = static_cast<std::size_t>(actor);
       OpCounts* counts = opts_.count_ops ? &ops_[ai] : &calib_[ai];
       while (quota[ai] > 0 && can_fire(actor)) {
-        fire_actor(actor, counts);
+        fire_actor(actor, counts, tb0_);
         --quota[ai];
         progress = true;
       }
@@ -448,6 +562,10 @@ void ThreadedExecutor::run_init() {
     return;
   }
   if (init_done_) return;
+  if (tb0_ != nullptr) {
+    tb0_->emit(rec_->now_ns(), obs::EventKind::Phase,
+               static_cast<std::int32_t>(obs::PhaseId::Init));
+  }
   ensure_input_for(sched_.input_for_init);
   run_epoch(sched_.init_fires);
   init_done_ = true;
@@ -612,7 +730,8 @@ std::int64_t ThreadedExecutor::min_completed() const {
   return m;
 }
 
-void ThreadedExecutor::wait_ready(int actor) {
+void ThreadedExecutor::wait_ready(int actor, obs::ThreadBuffer* tb,
+                                  std::int64_t* wait_ns) {
   const auto ai = static_cast<std::size_t>(actor);
   const FlatActor& a = g_.actors[ai];
   for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
@@ -622,7 +741,9 @@ void ThreadedExecutor::wait_ready(int actor) {
     std::int64_t need = sched_.reps[ai] * a.in_rate[p];
     if (a.is_filter()) need += a.peek_extra;
     const auto un = static_cast<std::size_t>(need);
-    spin_until(abort_, [&] { return r.can_pop(un); }, "waiting for input data");
+    traced_spin(abort_, [&] { return r.can_pop(un); }, "waiting for input data",
+                spin_yield_, stall_ms_, tb, rec_.get(), wait_ns, actor,
+                obs::WaitKind::Input);
   }
   for (std::size_t p = 0; p < a.out_edges.size(); ++p) {
     const int eid = a.out_edges[p];
@@ -630,8 +751,9 @@ void ThreadedExecutor::wait_ready(int actor) {
     SpscRing& r = *rings_[static_cast<std::size_t>(eid)];
     const auto room =
         static_cast<std::size_t>(sched_.reps[ai] * a.out_rate[p]);
-    spin_until(abort_, [&] { return r.can_push(room); },
-               "waiting for output space");
+    traced_spin(abort_, [&] { return r.can_push(room); },
+                "waiting for output space", spin_yield_, stall_ms_, tb,
+                rec_.get(), wait_ns, actor, obs::WaitKind::Space);
   }
 }
 
@@ -656,23 +778,37 @@ void ThreadedExecutor::stage_input(std::int64_t iter) {
 
 void ThreadedExecutor::worker(int w, std::int64_t first,
                               std::int64_t last) noexcept {
+  // Each worker owns one thread buffer and one WorkerStats slot (worker 0
+  // runs on the main thread and shares tb0_ with the sequential epochs,
+  // which never run concurrently with workers).
+  obs::ThreadBuffer* tb = nullptr;
+  std::int64_t t_start = 0;
+  std::int64_t wait_ns = 0;
+  std::int64_t iters_done = 0;
+  if (rec_) {
+    tb = w == 0 ? tb0_ : rec_->thread_buffer(w);
+    t_start = rec_->now_ns();
+  }
   try {
     for (std::int64_t iter = first; iter <= last; ++iter) {
       // Sliding window: run at most kWindow iterations ahead of the
       // slowest worker, which bounds every ring's occupancy.
-      spin_until(abort_, [&] { return min_completed() >= iter - 1 - kWindow; },
-                 "iteration window");
+      traced_spin(abort_,
+                  [&] { return min_completed() >= iter - 1 - kWindow; },
+                  "iteration window", spin_yield_, stall_ms_, tb, rec_.get(),
+                  &wait_ns, -1, obs::WaitKind::Window);
       if (w == input_owner_) stage_input(iter);
       for (int actor : plan_[static_cast<std::size_t>(w)]) {
-        wait_ready(actor);
+        wait_ready(actor, tb, &wait_ns);
         const auto ai = static_cast<std::size_t>(actor);
         OpCounts* counts = opts_.count_ops ? &ops_[ai] : nullptr;
         for (std::int64_t k = 0; k < sched_.reps[ai]; ++k) {
-          fire_actor(actor, counts);
+          fire_actor(actor, counts, tb);
         }
       }
       completed_[static_cast<std::size_t>(w)]->v.store(
           iter, std::memory_order_release);
+      ++iters_done;
     }
   } catch (const Aborted&) {
     // Another worker failed first; unwind quietly.
@@ -682,6 +818,12 @@ void ThreadedExecutor::worker(int w, std::int64_t first,
       if (!first_error_) first_error_ = std::current_exception();
     }
     abort_.store(true, std::memory_order_release);
+  }
+  if (rec_) {
+    obs::WorkerStats& ws = rec_->worker_stats(w);
+    ws.wall_ns += rec_->now_ns() - t_start;
+    ws.wait_ns += wait_ns;
+    ws.iters += iters_done;
   }
 }
 
@@ -708,6 +850,10 @@ std::vector<double> ThreadedExecutor::run_steady(int n) {
   if (!partitioned_ && remaining > 0) {
     // Calibration: one sequential steady state to measure per-actor work,
     // then freeze the partition and migrate cross-thread edges.
+    if (tb0_ != nullptr) {
+      tb0_->emit(rec_->now_ns(), obs::EventKind::Phase,
+                 static_cast<std::int32_t>(obs::PhaseId::Calibration));
+    }
     ++steady_run_;
     ensure_input_for(sched_.input_for_init +
                      steady_run_ * sched_.input_per_steady);
@@ -715,7 +861,14 @@ std::vector<double> ThreadedExecutor::run_steady(int n) {
     --remaining;
     partition_and_migrate();
   }
-  if (remaining > 0) run_threaded(remaining);
+  if (remaining > 0) {
+    if (tb0_ != nullptr && !steady_marked_) {
+      tb0_->emit(rec_->now_ns(), obs::EventKind::Phase,
+                 static_cast<std::int32_t>(obs::PhaseId::Steady));
+      steady_marked_ = true;
+    }
+    run_threaded(remaining);
+  }
   return take_output();
 }
 
@@ -729,6 +882,82 @@ std::vector<double> ThreadedExecutor::take_output() {
   out.reserve(ch.size());
   while (!ch.empty()) out.push_back(ch.pop_item());
   return out;
+}
+
+obs::MetricsSnapshot ThreadedExecutor::metrics_snapshot() const {
+  if (seq_) {
+    obs::MetricsSnapshot m = seq_->metrics_snapshot();
+    m.fallback = sched::to_string(report_.fallback);
+    m.fallback_detail = report_.fallback_reason;
+    return m;
+  }
+
+  obs::MetricsSnapshot m;
+  m.engine = engine_ == Engine::Vm ? "vm" : "tree";
+  m.threads = threads_;
+  m.threaded = true;
+  m.fallback = "none";
+  m.predicted_speedup = report_.predicted_speedup;
+
+  m.actors.reserve(g_.actors.size());
+  for (std::size_t i = 0; i < g_.actors.size(); ++i) {
+    obs::ActorSnapshot a;
+    a.name = g_.actors[i].name;
+    a.firings = fired_[i];
+    a.ops = ops_[i];
+    // The partitioners' cost: calibration cycles whether or not per-firing
+    // counting stayed on afterwards.
+    a.calib_cycles = (opts_.count_ops ? ops_[i] : calib_[i]).weighted();
+    a.worker = partitioned_ ? owner_[i] : 0;
+    if (rec_ && i < rec_->all_actor_stats().size()) {
+      const obs::FiringStats& fs = rec_->all_actor_stats()[i];
+      a.wall_ns = fs.wall_ns;
+      a.max_ns = fs.max_ns;
+      a.hist.assign(fs.hist.begin(), fs.hist.end());
+    }
+    m.actors.push_back(std::move(a));
+  }
+
+  m.edges.reserve(g_.edges.size());
+  for (std::size_t e = 0; e < g_.edges.size(); ++e) {
+    const auto& ed = g_.edges[e];
+    obs::EdgeSnapshot s;
+    s.src = ed.src;
+    s.dst = ed.dst;
+    s.name = (ed.src >= 0 ? g_.actors[static_cast<std::size_t>(ed.src)].name
+                          : std::string("input")) +
+             "->" +
+             (ed.dst >= 0 ? g_.actors[static_cast<std::size_t>(ed.dst)].name
+                          : std::string("output"));
+    s.ring = rings_[e] != nullptr;
+    s.pushed = edge_pushed(static_cast<int>(e));
+    s.popped = edge_popped(static_cast<int>(e));
+    s.peak_items = static_cast<std::int64_t>(
+        s.ring ? rings_[e]->high_water() : chans_[e]->high_water());
+    m.edges.push_back(std::move(s));
+  }
+
+  for (int w = 0; w < threads_; ++w) {
+    obs::WorkerSnapshot ws;
+    ws.id = w;
+    ws.actors = partitioned_
+                    ? static_cast<int>(plan_[static_cast<std::size_t>(w)].size())
+                    : 0;
+    if (rec_ &&
+        static_cast<std::size_t>(w) < rec_->all_worker_stats().size()) {
+      const obs::WorkerStats& st = rec_->all_worker_stats()[static_cast<std::size_t>(w)];
+      ws.wall_ns = st.wall_ns;
+      ws.wait_ns = st.wait_ns;
+      ws.iters = st.iters;
+    }
+    m.workers.push_back(ws);
+  }
+
+  if (rec_) {
+    m.trace_events = rec_->total_events();
+    m.trace_dropped = rec_->total_dropped();
+  }
+  return m;
 }
 
 }  // namespace sit::sched

@@ -65,15 +65,40 @@
 
 namespace sit::sched {
 
+// Why a ThreadedExecutor fell back to the embedded sequential Executor.
+// The enum and its to_string names are a stable interface -- streamprof
+// prints them and tests pin them; ThreadedReport::fallback_reason carries
+// the human-readable detail (which filter, etc.).
+enum class FallbackReason {
+  None,                // running threaded
+  OneThread,           // one worker requested (or SIT_THREADS unset)
+  MessageSink,         // teleport message sink attached
+  TeleportHandlers,    // some filter declares message handlers
+  TeleportSends,       // some filter sends teleport messages
+  TooFewActors,        // graph has fewer than two actors
+  InterleavedFirings,  // no single-appearance steady schedule exists
+};
+
+// Stable kebab-case name: "none", "one-thread", "message-sink",
+// "teleport-handlers", "teleport-sends", "too-few-actors",
+// "interleaved-firings".
+const char* to_string(FallbackReason r);
+
 // How a ThreadedExecutor decided to run; owner/ring/speedup fields are
 // populated once the partition is frozen (after the first steady state).
 struct ThreadedReport {
   bool threaded{false};
   int threads{1};               // workers actually used
-  std::string fallback_reason;  // empty when threaded
+  FallbackReason fallback{FallbackReason::None};
+  std::string fallback_reason;  // human-readable detail; empty when threaded
   std::vector<int> owner;       // actor index -> worker id
   int ring_edges{0};            // edges migrated to SPSC rings
   double predicted_speedup{0};  // machine-model estimate for this placement
+
+  // One-line summary: "threaded threads=4 ring-edges=3 speedup=2.71" or
+  // "sequential fallback=teleport-handlers (filter 'F' has teleport
+  // handlers)".
+  [[nodiscard]] std::string to_string() const;
 };
 
 class ThreadedExecutor {
@@ -107,19 +132,30 @@ class ThreadedExecutor {
 
   [[nodiscard]] const ThreadedReport& report() const { return report_; }
 
+  // --- observability --------------------------------------------------------
+  // Null unless tracing is enabled; delegates to the embedded sequential
+  // executor's recorder when fallen back.
+  [[nodiscard]] obs::Recorder* recorder() noexcept {
+    return seq_ ? seq_->recorder() : rec_.get();
+  }
+  // Quiescent snapshot (only call between run_* calls).  Reuses the
+  // calibration costs as per-actor cycle weights and attributes each actor
+  // to its owning worker.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
  private:
-  std::string refusal_reason() const;
+  FallbackReason refusal_reason(std::string* detail) const;
   void build_storage();
   ir::InTape* in_tape(int edge);
   ir::OutTape* out_tape(int edge);
   bool can_fire(int actor) const;
-  void fire_actor(int actor, runtime::OpCounts* counts);
+  void fire_actor(int actor, runtime::OpCounts* counts, obs::ThreadBuffer* tb);
   void run_epoch(const std::vector<std::int64_t>& quota);
   void ensure_input_for(std::int64_t items_needed);
   void partition_and_migrate();
   void run_threaded(int iters);
   void worker(int w, std::int64_t first, std::int64_t last) noexcept;
-  void wait_ready(int actor);
+  void wait_ready(int actor, obs::ThreadBuffer* tb, std::int64_t* wait_ns);
   void stage_input(std::int64_t iter);
   std::int64_t min_completed() const;
 
@@ -143,6 +179,17 @@ class ThreadedExecutor {
   std::int64_t input_fed_{0};
   std::int64_t steady_run_{0};
   bool init_done_{false};
+  bool steady_marked_{false};
+
+  // Stall detector (resolved from ExecOptions / SIT_STALL_MS at
+  // construction; < 0 = never abort).
+  int stall_ms_{120000};
+  int spin_yield_{128};
+
+  // Tracing (null when disabled; tb0_ is the main thread's buffer, shared by
+  // the sequential epochs and worker 0, which run on the same thread).
+  std::unique_ptr<obs::Recorder> rec_;
+  obs::ThreadBuffer* tb0_{nullptr};
 
   // Frozen after the calibration steady state.
   bool partitioned_{false};

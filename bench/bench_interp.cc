@@ -25,6 +25,7 @@
 
 #include "bench/bench_util.h"
 #include "ir/dsl.h"
+#include "opt/compile.h"
 #include "runtime/channel.h"
 #include "runtime/compile.h"
 #include "runtime/interp.h"
@@ -187,11 +188,15 @@ int run_comparison(bool smoke) {
   }
   sit::bench::rule(72);
   // One short traced run (outside the timed sections) gives the JSON
-  // per-actor wall-ns attribution alongside the end-to-end ratios.
+  // per-actor wall-ns attribution alongside the end-to-end ratios.  The run
+  // goes through the pass pipeline (SIT_OPT / SIT_PASSES select it) so the
+  // snapshot also carries the active pipeline spec and per-pass stats.
+  sit::opt::CompileOptions copts;
+  copts.exec.engine = sit::sched::Engine::Vm;
   sit::sched::ExecOptions mopts;
-  mopts.engine = sit::sched::Engine::Vm;
   mopts.trace = sit::sched::TraceMode::On;
-  sit::sched::Executor mex(sit::apps::make_app("FIR"), mopts);
+  sit::sched::Executor mex(sit::opt::compile(sit::apps::make_app("FIR"), copts),
+                           mopts);
   mex.run_steady(smoke ? 2 : 8);
   sit::obs::MetricsSnapshot metrics = mex.metrics_snapshot();
   metrics.app = "FIR";

@@ -23,7 +23,7 @@
 
 #include "apps/apps.h"
 #include "bench/bench_util.h"
-#include "parallel/transforms.h"
+#include "opt/compile.h"
 #include "sched/texec.h"
 
 namespace {
@@ -116,7 +116,13 @@ int main(int argc, char** argv) {
       opts.count_ops = false;
       opts.engine = sit::sched::Engine::Vm;
       opts.threads = t;
-      sit::sched::ThreadedExecutor tex(sit::parallel::prepare_threaded(b.make(), t),
+      // Compile through the pipeline's mapping pass (threaded-prep wraps
+      // parallel::prepare_threaded) so the artifact records the pipeline and
+      // per-pass stats for the JSON's metrics snapshot.
+      sit::opt::CompileOptions copts;
+      copts.passes = "validate,analysis-gate,threaded-prep";
+      copts.exec.threads = t;
+      sit::sched::ThreadedExecutor tex(sit::opt::compile(b.make(), copts),
                                        opts);
       const std::int64_t items =
           source_items_per_steady(tex.graph(), tex.schedule());

@@ -20,6 +20,7 @@
 #include "machine/machine.h"
 #include "obs/metrics.h"
 #include "parallel/strategies.h"
+#include "sched/envopts.h"
 #include "sched/exec.h"
 
 namespace sit::bench {
@@ -93,13 +94,19 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
                              const obs::MetricsSnapshot* metrics = nullptr) {
   std::ofstream f(path);
   if (!f) return false;
-  const char* engine =
-      sched::resolve_engine(sched::Engine::Auto) == sched::Engine::Vm ? "vm"
-                                                                      : "tree";
+  // One consolidated environment snapshot (sched/envopts.h) supplies every
+  // provenance field, including the active optimization configuration: the
+  // SIT_OPT level and, when SIT_PASSES overrides the preset, the explicit
+  // pass spec.  Per-pass stats ride in the embedded metrics snapshot when
+  // the measured executor consumed a pipeline-compiled program.
+  const ExecEnv env = resolve_exec_options();
+  const char* engine = env.engine == sched::Engine::Vm ? "vm" : "tree";
   f << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n"
     << "  \"git_sha\": \"" << json_escape(bench_git_sha()) << "\",\n"
     << "  \"engine\": \"" << engine << "\",\n"
-    << "  \"threads\": " << sched::resolve_threads(0) << ",\n"
+    << "  \"threads\": " << env.threads << ",\n"
+    << "  \"opt\": {\"level\": " << env.opt_level << ", \"passes\": \""
+    << json_escape(env.passes) << "\"},\n"
     << "  \"host\": {\"hostname\": \"" << json_escape(bench_hostname())
     << "\", \"cpus\": " << std::thread::hardware_concurrency() << "},\n"
     << "  \"run_mono_ns\": " << bench_run_mono_ns() << ",\n"

@@ -33,6 +33,12 @@ struct AnalysisResult {
 AnalysisResult analyze(const ir::NodeP& root);
 
 // Throws std::runtime_error listing every error diagnostic; warnings pass.
+//
+// Deprecated shim for whole-program compilation: the `validate` and
+// `analysis-gate` passes (opt/pass_manager.h) wrap ir::check and analyze()
+// with the same throw-on-error contract while also collecting the warnings
+// into the PassContext; opt::compile() runs them by default.  The
+// graph-taking executor constructors still call this directly.
 void check_or_throw(const ir::NodeP& root);
 
 }  // namespace sit::analysis

@@ -45,8 +45,14 @@ class Optimizer {
   }
 
  private:
-  void log(const std::string& s) {
-    if (stats_) stats_->log += s + "\n";
+  void refuse(const std::string& pass, const std::string& site,
+              const std::string& why) {
+    if (stats_) stats_->records.push_back({pass, site, 0.0, 0.0, false, why});
+  }
+
+  void select(const std::string& pass, const std::string& site, double before,
+              double after) {
+    if (stats_) stats_->records.push_back({pass, site, before, after, true, {}});
   }
 
   double cpi_of(const NodeP& node) const {
@@ -64,11 +70,13 @@ class Optimizer {
   std::optional<Best> linear_candidates(const LinearRep& rep,
                                         const std::string& name,
                                         double structural_cpi) {
+    const double entry_cpi = structural_cpi;
     std::optional<Best> best;
     if (opts_.enable_combination && !rep_too_big(rep)) {
       NodeP direct = ir::make_filter(to_filter(rep, name + "_lin"));
       const double c = cpi_of(direct);
       if (c < structural_cpi) {
+        select("combine", name, entry_cpi, c);
         best = Best{direct, rep, c, true, false};
         structural_cpi = c;
       }
@@ -79,6 +87,7 @@ class Optimizer {
         NodeP freq = make_frequency_filter(rep, name + "_freq", n);
         const double c = cpi_of(freq);
         if (c < structural_cpi) {
+          select("frequency", name, entry_cpi, c);
           best = Best{freq, rep, c, true, true};
         }
       }
@@ -102,7 +111,7 @@ class Optimizer {
         return *cand;
       }
     } else {
-      log("  [" + n->name + "] not linear: " + ex.reason);
+      refuse("extract", n->name, "not linear: " + ex.reason);
     }
     return b;
   }
@@ -228,7 +237,8 @@ class Optimizer {
           }
         }
       } catch (const std::exception& e) {
-        log("  [" + n->name + "] splitjoin not combinable: " + e.what());
+        refuse("combine", n->name,
+               std::string("splitjoin not combinable: ") + e.what());
       }
     }
     return result;
@@ -251,6 +261,25 @@ class Optimizer {
 };
 
 }  // namespace
+
+std::string RewriteRecord::to_string() const {
+  std::ostringstream os;
+  os << pass << " [" << site << "] ";
+  if (applied) {
+    os << "cost/item " << cost_before << " -> " << cost_after << " (selected)";
+  } else {
+    os << note;
+  }
+  return os.str();
+}
+
+std::string OptimizeStats::log() const {
+  std::string out;
+  for (const RewriteRecord& r : records) {
+    out += "  " + r.to_string() + "\n";
+  }
+  return out;
+}
 
 NodeP optimize(const NodeP& root, const OptimizeOptions& opts,
                OptimizeStats* stats) {

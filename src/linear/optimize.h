@@ -9,6 +9,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ir/graph.h"
 #include "linear/linear_rep.h"
@@ -27,6 +28,24 @@ struct OptimizeOptions {
   std::size_t max_matrix_entries{1u << 22};
 };
 
+// One optimization-selection decision, in the order the optimizer considered
+// it: a candidate rewrite of a site (filter, pipeline interval, or
+// split-join) that was either selected for its subtree (`applied`, with the
+// modeled costs that justified it) or refused (`note` says why -- not
+// linear, not combinable, not cheaper).  Candidates selected at one level of
+// the interval DP can still lose to a larger enclosing candidate; the
+// OptimizeStats counters report what survived in the final tree.
+struct RewriteRecord {
+  std::string pass;   // "combine" | "frequency" | "extract"
+  std::string site;   // node or interval name, e.g. "pipe[0..3]"
+  double cost_before{0.0};  // modeled cost/item of the structural form
+  double cost_after{0.0};   // modeled cost/item of the candidate
+  bool applied{false};
+  std::string note;   // refusal reason when !applied
+
+  [[nodiscard]] std::string to_string() const;  // one line
+};
+
 struct OptimizeStats {
   int total_filters{0};
   int linear_filters{0};
@@ -34,10 +53,21 @@ struct OptimizeStats {
   int frequency_nodes{0};    // frequency translations applied
   double cost_before{0.0};   // modeled flops per input item
   double cost_after{0.0};
-  std::string log;
+  // Structured per-candidate decisions (selections and refusals), replacing
+  // the historical append-only log string; log() renders them for humans.
+  std::vector<RewriteRecord> records;
+
+  [[nodiscard]] std::string log() const;  // records, one per line
 };
 
 // Returns the rewritten graph (a fresh tree; the input is not mutated).
+//
+// Deprecated shim for whole-program compilation: this is the implementation
+// behind the `linear-combine` and `frequency` passes of the pass pipeline
+// (opt/pass_manager.h), which additionally records per-pass timing/graph
+// deltas and produces the sched::CompiledProgram artifact the executors
+// consume.  Call opt::compile() instead unless you need a bare
+// graph-to-graph rewrite.
 ir::NodeP optimize(const ir::NodeP& root, const OptimizeOptions& opts = {},
                    OptimizeStats* stats = nullptr);
 

@@ -31,12 +31,16 @@ MessagingExecutor::MessagingExecutor(ir::NodeP root, sched::Engine engine)
         return o;
       }()) {}
 
-MessagingExecutor::MessagingExecutor(ir::NodeP root, sched::ExecOptions opts) {
+MessagingExecutor::MessagingExecutor(ir::NodeP root, sched::ExecOptions opts)
+    : MessagingExecutor(sched::lower(std::move(root)), std::move(opts)) {}
+
+MessagingExecutor::MessagingExecutor(sched::CompiledProgram prog,
+                                     sched::ExecOptions opts) {
   opts.message_sink = [this](const runtime::SentMessage& m) {
     if (current_actor_ < 0) return;
     on_send(current_actor_, m);
   };
-  ex_ = std::make_unique<sched::Executor>(std::move(root), std::move(opts));
+  ex_ = std::make_unique<sched::Executor>(std::move(prog), std::move(opts));
   sdep_ = std::make_unique<sdep::SdepAnalysis>(ex_->graph());
 }
 

@@ -54,6 +54,10 @@ class MessagingExecutor {
   // is overwritten -- teleport delivery is this class's whole job.
   MessagingExecutor(ir::NodeP root, sched::ExecOptions opts);
 
+  // Artifact-taking form: consume a pipeline-compiled program (see
+  // sched/program.h) instead of re-deriving graph + schedule from the root.
+  MessagingExecutor(sched::CompiledProgram prog, sched::ExecOptions opts = {});
+
   // Register `receiver_filter` (leaf filter name) on a portal.
   void register_receiver(const std::string& portal,
                          const std::string& receiver_filter);

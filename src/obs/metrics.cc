@@ -31,6 +31,22 @@ std::string MetricsSnapshot::to_json() const {
   o << "  \"trace_events\": " << trace_events << ",\n";
   o << "  \"trace_dropped\": " << trace_dropped << ",\n";
 
+  o << "  \"pipeline\": \"" << escape(pipeline) << "\",\n";
+  o << "  \"passes\": [\n";
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    const PassSnapshot& p = passes[i];
+    o << "    {\"name\": \"" << escape(p.name) << "\", \"wall_ns\": " << p.wall_ns
+      << ", \"actors_before\": " << p.actors_before
+      << ", \"actors_after\": " << p.actors_after
+      << ", \"edges_before\": " << p.edges_before
+      << ", \"edges_after\": " << p.edges_after
+      << ", \"cost_before\": " << p.cost_before
+      << ", \"cost_after\": " << p.cost_after
+      << ", \"changed\": " << (p.changed ? "true" : "false") << "}"
+      << (i + 1 < passes.size() ? "," : "") << "\n";
+  }
+  o << "  ],\n";
+
   o << "  \"actors\": [\n";
   for (std::size_t i = 0; i < actors.size(); ++i) {
     const ActorSnapshot& a = actors[i];

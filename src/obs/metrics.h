@@ -40,6 +40,22 @@ struct EdgeSnapshot {
   bool ring{false};             // migrated to an SPSC ring
 };
 
+// One compilation-pipeline pass as run by the opt::PassManager: wall time
+// plus the graph delta it caused (flat actor/edge counts and the modeled
+// cost per input item before and after).  Counts are -1 when the graph was
+// not flattenable at that boundary (e.g. before `validate` rejected it).
+struct PassSnapshot {
+  std::string name;
+  std::int64_t wall_ns{0};
+  int actors_before{-1};
+  int actors_after{-1};
+  int edges_before{-1};
+  int edges_after{-1};
+  double cost_before{0};  // modeled cost per input item (linear/cost.h)
+  double cost_after{0};
+  bool changed{false};
+};
+
 struct WorkerSnapshot {
   int id{0};
   int actors{0};
@@ -62,6 +78,12 @@ struct MetricsSnapshot {
   std::string fallback;         // stable ThreadedReport reason name
   std::string fallback_detail;  // human-readable detail, may be empty
   double predicted_speedup{0};
+
+  // Compilation provenance: the pass pipeline that produced the executed
+  // graph (comma-joined spec; empty when the executor was built from a raw
+  // graph without the pass manager) and its per-pass stats.
+  std::string pipeline;
+  std::vector<PassSnapshot> passes;
 
   std::vector<ActorSnapshot> actors;
   std::vector<EdgeSnapshot> edges;

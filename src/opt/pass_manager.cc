@@ -1,0 +1,162 @@
+#include "opt/pass_manager.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "linear/cost.h"
+#include "runtime/flatgraph.h"
+#include "sched/envopts.h"
+
+namespace sit::opt {
+
+namespace {
+
+// Graph shape at a pass boundary.  Flattening a malformed graph throws (the
+// validate pass has not run yet, or the program is simply broken -- the gate
+// will say so); shape fields stay at their "unknown" defaults in that case.
+struct Shape {
+  int actors{-1};
+  int edges{-1};
+  double cost{0.0};
+};
+
+Shape measure(const ir::NodeP& g, const PassContext& ctx) {
+  Shape s;
+  try {
+    const runtime::FlatGraph flat = runtime::flatten(g);
+    s.actors = static_cast<int>(flat.actors.size());
+    s.edges = static_cast<int>(flat.edges.size());
+    const linear::NodeCost nc = linear::node_cost(g);
+    const double raw =
+        nc.ops_per_ss + ctx.options.linear.sync_weight * nc.sync_per_ss;
+    // Normalize by items *entering* the graph per steady state (external
+    // input plus pure-source emissions).  NodeCost::per_item falls back to
+    // the raw per-steady cost on closed source-to-sink graphs, which is not
+    // comparable across passes that change the steady-state scale (frequency
+    // translation batches by the FFT size); this denominator is invariant
+    // under semantics-preserving rewrites.
+    const sched::Schedule sc = sched::make_schedule(flat);
+    double items = static_cast<double>(sc.input_per_steady);
+    for (std::size_t a = 0; a < flat.actors.size(); ++a) {
+      if (flat.actors[a].is_filter() && flat.actors[a].in_edges.empty()) {
+        items += static_cast<double>(sc.reps[a]) *
+                 static_cast<double>(flat.actors[a].push_rate());
+      }
+    }
+    if (items <= 0) items = static_cast<double>(sc.output_per_steady);
+    s.cost = items > 0 ? raw / items : raw;
+  } catch (const std::exception&) {
+  }
+  return s;
+}
+
+}  // namespace
+
+OptLevel resolve_opt_level(OptLevel level) {
+  if (level != OptLevel::Auto) return level;
+  switch (sit::env_opt_level()) {
+    case 0: return OptLevel::O0;
+    case 1: return OptLevel::O1;
+    default: return OptLevel::O2;
+  }
+}
+
+std::vector<std::string> preset(OptLevel level) {
+  switch (resolve_opt_level(level)) {
+    case OptLevel::O0:
+      return {"validate", "analysis-gate"};
+    case OptLevel::O1:
+      return {"validate", "analysis-gate", "const-fold", "linear-combine"};
+    case OptLevel::Auto:
+    case OptLevel::O2:
+      break;
+  }
+  return {"validate", "analysis-gate", "const-fold", "linear-combine",
+          "frequency"};
+}
+
+std::vector<std::string> parse_spec(const std::string& spec) {
+  std::vector<std::string> names;
+  std::string cur;
+  std::istringstream in(spec);
+  while (std::getline(in, cur, ',')) {
+    const auto b = cur.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const auto e = cur.find_last_not_of(" \t");
+    names.push_back(cur.substr(b, e - b + 1));
+  }
+  const PassManager& pm = PassManager::global();
+  for (const std::string& n : names) {
+    if (pm.find(n) == nullptr) {
+      throw std::invalid_argument("unknown pass '" + n +
+                                  "' in pass spec \"" + spec + "\"");
+    }
+  }
+  return names;
+}
+
+PassManager::PassManager() { detail::register_builtins(*this); }
+
+void PassManager::register_pass(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+Pass* PassManager::find(const std::string& name) const {
+  // Scan back to front so later registrations shadow built-ins.
+  for (auto it = passes_.rbegin(); it != passes_.rend(); ++it) {
+    if (name == (*it)->name()) return it->get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> PassManager::pass_names() const {
+  std::vector<std::string> out;
+  out.reserve(passes_.size());
+  for (const auto& p : passes_) out.emplace_back(p->name());
+  return out;
+}
+
+ir::NodeP PassManager::run(const ir::NodeP& root,
+                           const std::vector<std::string>& names,
+                           PassContext& ctx) const {
+  using clock = std::chrono::steady_clock;
+  ir::NodeP g = root;
+  Shape before = measure(g, ctx);
+  for (const std::string& name : names) {
+    Pass* pass = find(name);
+    if (pass == nullptr) {
+      throw std::invalid_argument("unknown pass '" + name + "'");
+    }
+    const auto t0 = clock::now();
+    PassResult res = pass->run(g, ctx);
+    const auto t1 = clock::now();
+    if (res.graph == nullptr) res.graph = g;  // gate passes leave it null
+
+    obs::PassSnapshot snap;
+    snap.name = name;
+    snap.wall_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    snap.actors_before = before.actors;
+    snap.edges_before = before.edges;
+    snap.cost_before = before.cost;
+    const Shape after = res.changed ? measure(res.graph, ctx) : before;
+    snap.actors_after = after.actors;
+    snap.edges_after = after.edges;
+    snap.cost_after = after.cost;
+    snap.changed = res.changed;
+    ctx.stats.push_back(snap);
+    if (ctx.on_pass) ctx.on_pass(ctx.stats.back(), res.graph);
+
+    g = std::move(res.graph);
+    before = after;
+  }
+  return g;
+}
+
+const PassManager& PassManager::global() {
+  static const PassManager pm;
+  return pm;
+}
+
+}  // namespace sit::opt

@@ -59,6 +59,13 @@ void place_one_per_core(Placement& p, const machine::MachineConfig& cfg);
 
 // Run one strategy end to end.  `single_core_cycles` of the untransformed
 // app is computed internally for the speedup figure.
+//
+// Deprecated shim for whole-program compilation: the transformations the
+// strategies compose (selective_fusion, data_parallelize) are also exposed
+// as the `selective-fuse` / `fission` passes of the pass pipeline
+// (opt/pass_manager.h); new real-execution paths should opt::compile() with
+// an explicit pass spec.  This entry point remains the machine-model
+// evaluation driver (simulated cycles, not real execution).
 StrategyResult run_strategy(const ir::NodeP& app, Strategy s,
                             const machine::MachineConfig& cfg);
 

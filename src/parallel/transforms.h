@@ -59,6 +59,11 @@ ir::NodeP fine_grained_parallelize(const ir::NodeP& root, int cores);
 // `max_actors` > 0, first apply selective_fusion down to that many leaves so
 // fine-grained graphs do not drown the workers in per-actor overhead.  The
 // executor itself never transforms the graph -- callers opt in with this.
+//
+// Deprecated shim for whole-program compilation: the `threaded-prep` pass
+// (opt/pass_manager.h) wraps this; opt::compile() with a pass spec
+// containing it produces a CompiledProgram the ThreadedExecutor consumes
+// directly, with per-pass stats recorded.
 ir::NodeP prepare_threaded(const ir::NodeP& root, int threads,
                            int max_actors = 0);
 

@@ -1,0 +1,63 @@
+#include "sched/envopts.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace sit {
+
+sched::Engine env_engine() {
+  const char* env = std::getenv("SIT_ENGINE");
+  if (env != nullptr && std::strcmp(env, "tree") == 0) {
+    return sched::Engine::Tree;
+  }
+  return sched::Engine::Vm;
+}
+
+int env_threads() {
+  int t = 1;
+  if (const char* env = std::getenv("SIT_THREADS")) t = std::atoi(env);
+  return t < 1 ? 1 : t;
+}
+
+bool env_trace() {
+  const char* env = std::getenv("SIT_TRACE");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+         std::strcmp(env, "true") == 0;
+}
+
+int env_stall_ms() {
+  const char* env = std::getenv("SIT_STALL_MS");
+  int ms = env != nullptr ? std::atoi(env) : 120000;
+  if (ms == 0) ms = 120000;
+  return ms;
+}
+
+int env_opt_level() {
+  const char* env = std::getenv("SIT_OPT");
+  if (env == nullptr) return 2;
+  const int lvl = std::atoi(env);
+  if (lvl < 0) return 0;
+  if (lvl > 2) return 2;
+  return lvl;
+}
+
+std::string env_passes() {
+  const char* env = std::getenv("SIT_PASSES");
+  return env != nullptr ? env : "";
+}
+
+ExecEnv resolve_exec_options() {
+  ExecEnv e;
+  e.engine = env_engine();
+  e.threads = env_threads();
+  e.trace = obs::kCompiledIn && env_trace();
+  e.stall_ms = env_stall_ms();
+  e.opt_level = env_opt_level();
+  e.passes = env_passes();
+  return e;
+}
+
+}  // namespace sit

@@ -1,11 +1,11 @@
 #include "sched/exec.h"
 
-#include <cstdlib>
-#include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "analysis/analyze.h"
 #include "runtime/compile.h"
+#include "sched/envopts.h"
 
 namespace sit::sched {
 
@@ -38,47 +38,49 @@ NullOut g_null_out;
 
 }  // namespace
 
+// The env parsing lives in sched/envopts.cc (sit::resolve_exec_options);
+// these merge a caller-requested value with the environment default.
 Engine resolve_engine(Engine e) {
-  if (e != Engine::Auto) return e;
-  const char* env = std::getenv("SIT_ENGINE");
-  if (env != nullptr && std::strcmp(env, "tree") == 0) return Engine::Tree;
-  return Engine::Vm;
+  return e != Engine::Auto ? e : env_engine();
 }
 
 int resolve_threads(int requested) {
-  if (requested == 0) {
-    const char* env = std::getenv("SIT_THREADS");
-    if (env != nullptr) requested = std::atoi(env);
-  }
+  if (requested == 0) requested = env_threads();
   return requested < 1 ? 1 : requested;
 }
 
 bool resolve_trace(TraceMode mode) {
   if (!obs::kCompiledIn) return false;
   if (mode != TraceMode::Auto) return mode == TraceMode::On;
-  const char* env = std::getenv("SIT_TRACE");
-  if (env == nullptr) return false;
-  return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
-         std::strcmp(env, "true") == 0;
+  return env_trace();
 }
 
 int resolve_stall_ms(int requested) {
-  if (requested == 0) {
-    const char* env = std::getenv("SIT_STALL_MS");
-    requested = env != nullptr ? std::atoi(env) : 120000;
-    if (requested == 0) requested = 120000;
-  }
-  return requested;
+  return requested != 0 ? requested : env_stall_ms();
+}
+
+CompiledProgram lower(ir::NodeP root) {
+  // Full static-analysis gate: structural validation plus the dataflow and
+  // graph-level passes.  Errors throw; warnings are tolerated.
+  analysis::check_or_throw(root);
+  CompiledProgram p;
+  p.source = root;
+  p.graph = std::move(root);
+  p.flat = runtime::flatten(p.graph);
+  p.schedule = make_schedule(p.flat);
+  return p;
 }
 
 Executor::Executor(ir::NodeP root, ExecOptions opts)
-    : root_(std::move(root)), opts_(std::move(opts)) {
-  // Full static-analysis gate: structural validation plus the dataflow and
-  // graph-level passes.  Errors throw; warnings are tolerated.
-  analysis::check_or_throw(root_);
-  g_ = runtime::flatten(root_);
-  sched_ = make_schedule(g_);
+    : Executor(lower(std::move(root)), std::move(opts)) {}
 
+Executor::Executor(CompiledProgram prog, ExecOptions opts)
+    : root_(prog.graph),
+      opts_(std::move(opts)),
+      g_(std::move(prog.flat)),
+      sched_(std::move(prog.schedule)),
+      pipeline_(std::move(prog.pipeline)),
+      passes_(std::move(prog.passes)) {
   chans_.reserve(g_.edges.size());
   for (const auto& e : g_.edges) {
     auto ch = std::make_unique<Channel>();
@@ -86,7 +88,8 @@ Executor::Executor(ir::NodeP root, ExecOptions opts)
     chans_.push_back(std::move(ch));
   }
 
-  engine_ = resolve_engine(opts_.engine);
+  engine_ = resolve_engine(opts_.engine != Engine::Auto ? opts_.engine
+                                                        : prog.engine);
   if (resolve_trace(opts_.trace)) {
     rec_ = std::make_unique<obs::Recorder>();
     rec_->attach_actors(g_.actors.size());
@@ -359,6 +362,8 @@ obs::MetricsSnapshot Executor::metrics_snapshot() const {
   m.threads = 1;
   m.threaded = false;
   m.fallback = "none";
+  m.pipeline = pipeline_;
+  m.passes = passes_;
 
   m.actors.reserve(g_.actors.size());
   for (std::size_t i = 0; i < g_.actors.size(); ++i) {

@@ -23,17 +23,13 @@
 #include "runtime/flatgraph.h"
 #include "runtime/interp.h"
 #include "runtime/vm.h"
+#include "sched/program.h"
 #include "sched/schedule.h"
 
 namespace sit::sched {
 
-// Which work-function engine drives AST filters.  Vm compiles each filter's
-// work/init to bytecode once and falls back to the tree interpreter
-// *per filter* for anything outside the bytecode subset; Tree forces the
-// tree interpreter everywhere.  Auto resolves from the SIT_ENGINE
-// environment variable ("tree" or "vm"), defaulting to Vm -- which lets CI
-// run the whole test suite under either engine without code changes.
-enum class Engine { Auto, Tree, Vm };
+// Engine lives in sched/program.h (the CompiledProgram artifact records the
+// pipeline's choice); re-exported here for the executors' users.
 
 // Resolve Auto against SIT_ENGINE (other values pass through).
 Engine resolve_engine(Engine e);
@@ -78,7 +74,15 @@ struct ExecOptions {
 
 class Executor {
  public:
+  // Graph-taking form: validates, flattens, and schedules internally
+  // (equivalent to Executor(lower(root), opts)).
   explicit Executor(ir::NodeP root, ExecOptions opts = {});
+
+  // Artifact-taking form: consume a pipeline-compiled program as-is -- no
+  // re-analysis, re-flattening, or re-scheduling.  The program's resolved
+  // engine applies when opts.engine is Auto (and likewise threads), so the
+  // same artifact can still be pinned to a specific engine per executor.
+  explicit Executor(CompiledProgram prog, ExecOptions opts = {});
 
   [[nodiscard]] const runtime::FlatGraph& graph() const { return g_; }
   [[nodiscard]] const Schedule& schedule() const { return sched_; }
@@ -170,6 +174,10 @@ class Executor {
   // Tracing (null when disabled; tb_ is this executor's thread-0 buffer).
   std::unique_ptr<obs::Recorder> rec_;
   obs::ThreadBuffer* tb_{nullptr};
+  // Compilation provenance (from the CompiledProgram; empty when built from
+  // a raw graph), surfaced through metrics_snapshot().
+  std::string pipeline_;
+  std::vector<obs::PassSnapshot> passes_;
 };
 
 }  // namespace sit::sched

@@ -159,8 +159,16 @@ std::string ThreadedReport::to_string() const {
 }
 
 ThreadedExecutor::ThreadedExecutor(ir::NodeP root, ExecOptions opts)
-    : root_(std::move(root)), opts_(std::move(opts)) {
-  const int requested = resolve_threads(opts_.threads);
+    : ThreadedExecutor(lower(std::move(root)), std::move(opts)) {}
+
+ThreadedExecutor::ThreadedExecutor(CompiledProgram prog, ExecOptions opts)
+    : root_(prog.graph),
+      opts_(std::move(opts)),
+      prog_engine_(prog.engine),
+      pipeline_(prog.pipeline),
+      passes_(prog.passes) {
+  const int requested =
+      resolve_threads(opts_.threads != 0 ? opts_.threads : prog.threads);
   FallbackReason fb = FallbackReason::None;
   std::string detail;
   if (requested <= 1) {
@@ -170,11 +178,10 @@ ThreadedExecutor::ThreadedExecutor(ir::NodeP root, ExecOptions opts)
     fb = FallbackReason::MessageSink;
     detail = "teleport message sink attached";
   } else {
-    // Same static-analysis gate as the sequential executor, then the
-    // threaded-eligibility checks on the flattened graph.
-    analysis::check_or_throw(root_);
-    g_ = runtime::flatten(root_);
-    sched_ = make_schedule(g_);
+    // The artifact is already analyzed/flattened/scheduled; run the
+    // threaded-eligibility checks on it.
+    g_ = prog.flat;
+    sched_ = prog.schedule;
     fb = refusal_reason(&detail);
   }
   if (fb != FallbackReason::None) {
@@ -182,7 +189,7 @@ ThreadedExecutor::ThreadedExecutor(ir::NodeP root, ExecOptions opts)
     report_.threads = 1;
     report_.fallback = fb;
     report_.fallback_reason = detail;
-    seq_ = std::make_unique<Executor>(root_, opts_);
+    seq_ = std::make_unique<Executor>(std::move(prog), opts_);
     return;
   }
   threads_ = std::min<int>(requested, static_cast<int>(g_.actors.size()));
@@ -280,7 +287,8 @@ void ThreadedExecutor::build_storage() {
   }
   rings_.resize(g_.edges.size());
 
-  engine_ = resolve_engine(opts_.engine);
+  engine_ = resolve_engine(opts_.engine != Engine::Auto ? opts_.engine
+                                                        : prog_engine_);
   const std::size_t n = g_.actors.size();
   fstate_.resize(n);
   nstate_.resize(n);
@@ -898,6 +906,8 @@ obs::MetricsSnapshot ThreadedExecutor::metrics_snapshot() const {
   m.threaded = true;
   m.fallback = "none";
   m.predicted_speedup = report_.predicted_speedup;
+  m.pipeline = pipeline_;
+  m.passes = passes_;
 
   m.actors.reserve(g_.actors.size());
   for (std::size_t i = 0; i < g_.actors.size(); ++i) {

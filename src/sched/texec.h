@@ -103,7 +103,14 @@ struct ThreadedReport {
 
 class ThreadedExecutor {
  public:
+  // Graph-taking form (equivalent to ThreadedExecutor(lower(root), opts)).
   explicit ThreadedExecutor(ir::NodeP root, ExecOptions opts = {});
+
+  // Artifact-taking form: consume a pipeline-compiled program -- no
+  // re-analysis/flatten/schedule.  opts.engine / opts.threads of Auto / 0
+  // fall back to the program's resolved choice before consulting the
+  // environment; the embedded sequential fallback reuses the same artifact.
+  explicit ThreadedExecutor(CompiledProgram prog, ExecOptions opts = {});
   ~ThreadedExecutor();
 
   [[nodiscard]] const runtime::FlatGraph& graph() const;
@@ -167,6 +174,9 @@ class ThreadedExecutor {
   runtime::FlatGraph g_;
   Schedule sched_;
   Engine engine_{Engine::Vm};
+  Engine prog_engine_{Engine::Auto};  // the CompiledProgram's resolved choice
+  std::string pipeline_;
+  std::vector<obs::PassSnapshot> passes_;
   std::vector<std::unique_ptr<runtime::Channel>> chans_;
   std::vector<std::unique_ptr<runtime::SpscRing>> rings_;
   std::vector<runtime::FilterState> fstate_;

@@ -55,7 +55,7 @@ TEST_P(OptimizePreservesP, OptimizedAppComputesSameStream) {
   const auto app = observable(apps::make_app(GetParam()));
   linear::OptimizeStats stats;
   const auto opt = linear::optimize(app, {}, &stats);
-  EXPECT_LE(stats.cost_after, stats.cost_before * 1.0001) << stats.log;
+  EXPECT_LE(stats.cost_after, stats.cost_before * 1.0001) << stats.log();
   expect_equiv(app, opt, 60);
 }
 

@@ -14,6 +14,11 @@
 #include "runtime/flatgraph.h"
 #include "sched/schedule.h"
 
+// This file deliberately exercises the deprecated whole-program shims
+// (linear::optimize / parallel::prepare_threaded) alongside the pass
+// pipeline that replaced them.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace {
 
 // Cycle-weighted cost per source item of a closed program.

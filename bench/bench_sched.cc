@@ -11,6 +11,11 @@
 #include "sched/schedule.h"
 #include "sdep/sdep.h"
 
+// This file deliberately exercises the deprecated whole-program shims
+// (linear::optimize / parallel::prepare_threaded) alongside the pass
+// pipeline that replaced them.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace {
 
 void BM_FlattenAndSchedule(benchmark::State& state, const char* app) {

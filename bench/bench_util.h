@@ -101,6 +101,17 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
   // the measured executor consumed a pipeline-compiled program.
   const ExecEnv env = resolve_exec_options();
   const char* engine = env.engine == sched::Engine::Vm ? "vm" : "tree";
+  // A run asking for more workers than the host has cores measures scheduler
+  // contention, not the runtime: stamp it degraded so trajectory tooling can
+  // exclude (or at least flag) the numbers, and warn the operator directly.
+  const unsigned cpus = std::thread::hardware_concurrency();
+  const bool degraded = cpus > 0 && env.threads > static_cast<int>(cpus);
+  if (degraded) {
+    std::fprintf(stderr,
+                 "bench: warning: %d worker threads on a %u-cpu host; "
+                 "results stamped \"degraded\" in %s\n",
+                 env.threads, cpus, path.c_str());
+  }
   f << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n"
     << "  \"git_sha\": \"" << json_escape(bench_git_sha()) << "\",\n"
     << "  \"engine\": \"" << engine << "\",\n"
@@ -108,7 +119,8 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
     << "  \"opt\": {\"level\": " << env.opt_level << ", \"passes\": \""
     << json_escape(env.passes) << "\"},\n"
     << "  \"host\": {\"hostname\": \"" << json_escape(bench_hostname())
-    << "\", \"cpus\": " << std::thread::hardware_concurrency() << "},\n"
+    << "\", \"cpus\": " << cpus << ", \"degraded\": "
+    << (degraded ? "true" : "false") << "},\n"
     << "  \"run_mono_ns\": " << bench_run_mono_ns() << ",\n"
     << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {

@@ -16,6 +16,11 @@
 #include "linear/optimize.h"
 #include "sched/exec.h"
 
+// This file deliberately exercises the deprecated whole-program shims
+// (linear::optimize / parallel::prepare_threaded) alongside the pass
+// pipeline that replaced them.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 using namespace sit;
 using namespace sit::ir;
 

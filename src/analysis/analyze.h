@@ -37,8 +37,10 @@ AnalysisResult analyze(const ir::NodeP& root);
 // Deprecated shim for whole-program compilation: the `validate` and
 // `analysis-gate` passes (opt/pass_manager.h) wrap ir::check and analyze()
 // with the same throw-on-error contract while also collecting the warnings
-// into the PassContext; opt::compile() runs them by default.  The
-// graph-taking executor constructors still call this directly.
+// into the PassContext; opt::compile() runs them by default.
+[[deprecated(
+    "gate through opt::compile() (validate + analysis-gate passes), or call "
+    "analyze() and inspect the result")]]
 void check_or_throw(const ir::NodeP& root);
 
 }  // namespace sit::analysis

@@ -1,0 +1,85 @@
+#pragma once
+// Static per-edge channel bounds for the software-pipelined runtime.
+//
+// Given a flat graph and its steady-state schedule, channel_bounds() derives
+// the exact maximum occupancy of every internal edge under each execution
+// discipline the runtime uses:
+//
+//   * in_order[e] -- peak occupancy when firings are data-driven in the
+//     global topological order (the sequential executors, and the threaded
+//     runtime's init + calibration epochs).  Computed by static simulation
+//     of the init epoch plus two steady states, mirroring the executors'
+//     run_epoch loop firing for firing, so on in-order runs the observed
+//     high-water mark matches this bound exactly.
+//
+//   * steady-state single-appearance peak -- each actor fires its full
+//     repetition count at once, in topo order (one worker iteration of the
+//     threaded runtime).  Steady states conserve every edge's level, so the
+//     level at each iteration boundary is the post-init level L0 and the
+//     in-iteration peak has a closed form: L0 + traffic when the producer
+//     precedes the consumer in the firing order (it deposits a full
+//     iteration before the consumer drains it), L0 when the consumer fires
+//     first (the producer only refills what was drained).
+//
+//   * pipelined(e, window) -- the cross-worker bound.  The runtime's sliding
+//     window lets a producer enter iteration P only once every worker has
+//     completed iteration P - 1 - window, so producer and consumer progress
+//     differ by at most window + 1 completed iterations; each iteration of
+//     lead adds one steady state's traffic on top of L0:
+//
+//         max occupancy = L0 + (window + 1) * traffic.
+//
+//     This is exact (reached when the producer runs a full window ahead and
+//     completes its iteration before the consumer pops), and it is what the
+//     ThreadedExecutor sizes each SpscRing to.
+//
+// Deadlock-freedom is the precondition for all of this: the bounds are
+// finite iff the balance equations solve and init + steady scheduling
+// succeed, which make_schedule / analysis::verify_flat establish.  The
+// single_appearance flag reports whether the steady state additionally
+// admits the threaded runtime's one-appearance schedule (e.g. a tight
+// feedback loop whose delay cannot cover a whole iteration does not); when
+// false the runtime falls back to sequential execution and `blocker` names
+// the first actor that comes up short.
+//
+// External boundary edges (src or dst == -1) carry no bound: the input edge
+// is staged by the feeder (occupancy depends on feed_input batching) and the
+// output edge accumulates until the caller drains it.  Their entries are -1.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/flatgraph.h"
+#include "sched/schedule.h"
+
+namespace sit::analysis {
+
+struct ChannelBounds {
+  // Per-edge, -1 on the external boundary edges.
+  std::vector<std::int64_t> post_init;  // live items after the init epoch (L0)
+  std::vector<std::int64_t> traffic;    // items crossing per steady state
+  std::vector<std::int64_t> in_order;   // peak under data-driven in-order runs
+  std::vector<std::int64_t> steady_single;  // single-appearance iteration peak
+
+  // Threaded-runtime schedulability (see header comment).
+  bool single_appearance{true};
+  std::string blocker;  // first starved actor when !single_appearance
+
+  // Exact ring bound for a producer allowed to run `window` iterations ahead.
+  [[nodiscard]] std::int64_t pipelined(std::size_t e, int window) const {
+    if (post_init[e] < 0) return -1;
+    return post_init[e] + (window + 1) * traffic[e];
+  }
+  // Bound for an edge that stays on a plain Channel in the threaded runtime:
+  // in-order during init + calibration, single-appearance afterwards.
+  [[nodiscard]] std::int64_t channel_bound(std::size_t e) const {
+    return in_order[e] > steady_single[e] ? in_order[e] : steady_single[e];
+  }
+};
+
+// Requires a schedule computed from this exact graph (make_schedule output).
+ChannelBounds channel_bounds(const runtime::FlatGraph& g,
+                             const sched::Schedule& s);
+
+}  // namespace sit::analysis

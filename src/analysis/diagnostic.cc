@@ -65,7 +65,11 @@ std::string render(const std::vector<Diagnostic>& ds) {
   std::ostringstream os;
   for (const auto& d : ds) {
     os << to_string(d.severity);
-    if (!d.pass.empty()) os << '[' << d.pass << ']';
+    if (!d.pass.empty() || !d.code.empty()) {
+      os << '[' << d.pass;
+      if (!d.code.empty()) os << '/' << d.code;
+      os << ']';
+    }
     if (!d.where.empty()) os << " at " << d.where;
     os << ": " << d.message << '\n';
     if (!d.detail.empty()) {

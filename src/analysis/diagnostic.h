@@ -26,6 +26,10 @@ struct Diagnostic {
   Severity severity{Severity::Error};
   std::string pass;     // producing pass: "structure", "intervals", ...
   std::string detail;   // optional pretty-printed AST of the offending node
+  // Stable machine-readable code ("V-RATES", "V-ORDER", ...).  Tests and
+  // tooling pin on this, never on the message text.  Empty for analyses that
+  // predate codes.
+  std::string code;
 
   [[nodiscard]] bool is_error() const { return severity == Severity::Error; }
 };

@@ -68,6 +68,9 @@ struct OptimizeStats {
 // deltas and produces the sched::CompiledProgram artifact the executors
 // consume.  Call opt::compile() instead unless you need a bare
 // graph-to-graph rewrite.
+[[deprecated(
+    "use opt::compile() with the linear-combine / frequency passes; call this "
+    "only for a bare graph-to-graph rewrite")]]
 ir::NodeP optimize(const ir::NodeP& root, const OptimizeOptions& opts = {},
                    OptimizeStats* stats = nullptr);
 

@@ -74,6 +74,7 @@ std::string MetricsSnapshot::to_json() const {
     o << "    {\"name\": \"" << escape(e.name) << "\", \"src\": " << e.src
       << ", \"dst\": " << e.dst << ", \"pushed\": " << e.pushed
       << ", \"popped\": " << e.popped << ", \"peak_items\": " << e.peak_items
+      << ", \"bound_items\": " << e.bound_items
       << ", \"ring\": " << (e.ring ? "true" : "false") << "}"
       << (i + 1 < edges.size() ? "," : "") << "\n";
   }

@@ -37,6 +37,9 @@ struct EdgeSnapshot {
   std::int64_t pushed{0};       // cumulative n(t)
   std::int64_t popped{0};       // cumulative p(t)
   std::int64_t peak_items{0};   // high-water occupancy
+  std::int64_t bound_items{-1}; // static occupancy bound (analysis::
+                                // channel_bounds); -1 = unbounded boundary
+                                // edge or bound unavailable
   bool ring{false};             // migrated to an SPSC ring
 };
 

@@ -26,6 +26,13 @@
 
 namespace sit::opt {
 
+// When PassManager::run re-checks the stream-graph invariants with the
+// semantic verifier (analysis/verify.h).  Each runs it after every pass and
+// names the offending pass when an invariant breaks; Final verifies only the
+// pipeline's output; Auto defers to the SIT_VERIFY environment variable
+// ("each"/"2", "final"/"1"/"on", default off).
+enum class VerifyMode { Auto, Off, Final, Each };
+
 // Knobs shared by the built-in passes.
 struct PassOptions {
   // Parallelism target for the mapping passes (fission, threaded-prep).
@@ -34,6 +41,8 @@ struct PassOptions {
   int target_actors{0};
   // Shared linear-optimization knobs (sync weight, matrix-size guard).
   linear::OptimizeOptions linear;
+  // Run the verifier after every pass (streamc --verify-each, SIT_VERIFY).
+  VerifyMode verify_each{VerifyMode::Auto};
 };
 
 class PassContext {

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/verify.h"
 #include "linear/cost.h"
 #include "runtime/flatgraph.h"
 #include "sched/envopts.h"
@@ -51,6 +52,23 @@ Shape measure(const ir::NodeP& g, const PassContext& ctx) {
   return s;
 }
 
+// Re-check the graph invariants after `pass_name` ran.  Every finding is
+// stamped with the offending pass so downstream consumers (ctx.diagnostics,
+// the thrown message) can pin the pipeline stage that broke the graph.
+void verify_after(const std::string& pass_name, const ir::NodeP& g,
+                  PassContext& ctx) {
+  std::vector<analysis::Diagnostic> ds = analysis::verify_graph(g);
+  if (ds.empty()) return;
+  for (analysis::Diagnostic& d : ds) {
+    d.message = "after pass '" + pass_name + "': " + d.message;
+  }
+  ctx.diagnostics.insert(ctx.diagnostics.end(), ds.begin(), ds.end());
+  if (analysis::has_errors(ds)) {
+    throw std::runtime_error("verify: graph invariants violated after pass '" +
+                             pass_name + "'\n" + analysis::render(ds));
+  }
+}
+
 }  // namespace
 
 OptLevel resolve_opt_level(OptLevel level) {
@@ -74,6 +92,15 @@ std::vector<std::string> preset(OptLevel level) {
   }
   return {"validate", "analysis-gate", "const-fold", "linear-combine",
           "frequency"};
+}
+
+VerifyMode resolve_verify_mode(VerifyMode mode) {
+  if (mode != VerifyMode::Auto) return mode;
+  switch (sit::env_verify()) {
+    case 2: return VerifyMode::Each;
+    case 1: return VerifyMode::Final;
+    default: return VerifyMode::Off;
+  }
 }
 
 std::vector<std::string> parse_spec(const std::string& spec) {
@@ -121,6 +148,7 @@ ir::NodeP PassManager::run(const ir::NodeP& root,
                            const std::vector<std::string>& names,
                            PassContext& ctx) const {
   using clock = std::chrono::steady_clock;
+  const VerifyMode vmode = resolve_verify_mode(ctx.options.verify_each);
   ir::NodeP g = root;
   Shape before = measure(g, ctx);
   for (const std::string& name : names) {
@@ -150,6 +178,10 @@ ir::NodeP PassManager::run(const ir::NodeP& root,
 
     g = std::move(res.graph);
     before = after;
+    if (vmode == VerifyMode::Each ||
+        (vmode == VerifyMode::Final && &name == &names.back())) {
+      verify_after(name, g, ctx);
+    }
   }
   return g;
 }

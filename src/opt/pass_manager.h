@@ -32,6 +32,10 @@ enum class OptLevel { Auto, O0, O1, O2 };
 // Auto resolves against SIT_OPT (default 2); explicit levels pass through.
 OptLevel resolve_opt_level(OptLevel level);
 
+// Auto resolves against SIT_VERIFY (default Off); explicit modes pass
+// through.
+VerifyMode resolve_verify_mode(VerifyMode mode);
+
 // The preset pipeline for a level (Auto is resolved first).
 std::vector<std::string> preset(OptLevel level);
 

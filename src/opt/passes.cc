@@ -10,6 +10,7 @@
 
 #include "analysis/analyze.h"
 #include "analysis/constprop.h"
+#include "analysis/verify.h"
 #include "ir/ast.h"
 #include "ir/validate.h"
 #include "linear/extract.h"
@@ -54,6 +55,27 @@ class AnalysisGatePass final : public Pass {
     if (!r.ok()) {
       throw std::runtime_error("analysis-gate: program rejected\n" +
                                r.report());
+    }
+    return {root, false};
+  }
+};
+
+// The semantic verifier as a first-class pass, so --passes specs can place
+// invariant checks at chosen pipeline points.  The PassManager additionally
+// runs the same verifier after *every* pass under PassOptions::verify_each.
+class VerifyPass final : public Pass {
+ public:
+  const char* name() const override { return "verify"; }
+  const char* description() const override {
+    return "semantic verifier: structure, rates, splitjoins, order, state, "
+           "schedulability";
+  }
+  PassResult run(const NodeP& root, PassContext& ctx) override {
+    std::vector<analysis::Diagnostic> ds = analysis::verify_graph(root);
+    ctx.diagnostics.insert(ctx.diagnostics.end(), ds.begin(), ds.end());
+    if (analysis::has_errors(ds)) {
+      throw std::runtime_error("verify: graph invariants violated\n" +
+                               analysis::render(ds));
     }
     return {root, false};
   }
@@ -145,7 +167,11 @@ PassResult run_linear(const NodeP& root, PassContext& ctx, bool combination,
   o.enable_combination = combination;
   o.enable_frequency = frequency;
   linear::OptimizeStats stats;
+  // This pass is the supported replacement for the deprecated shim it wraps.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   NodeP out = linear::optimize(root, o, &stats);
+#pragma GCC diagnostic pop
   ctx.rewrites.insert(ctx.rewrites.end(), stats.records.begin(),
                       stats.records.end());
   const bool changed =
@@ -219,8 +245,13 @@ class ThreadedPrepPass final : public Pass {
   }
   PassResult run(const NodeP& root, PassContext& ctx) override {
     if (ctx.options.threads <= 1) return {root, false};
+    // This pass is the supported replacement for the deprecated shim it
+    // wraps.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     NodeP out = parallel::prepare_threaded(root, ctx.options.threads,
                                            ctx.options.target_actors);
+#pragma GCC diagnostic pop
     const bool changed = ir::count_filters(out) != ir::count_filters(root);
     return {changed ? std::move(out) : root, changed};
   }
@@ -233,6 +264,7 @@ namespace detail {
 void register_builtins(PassManager& pm) {
   pm.register_pass(std::make_unique<ValidatePass>());
   pm.register_pass(std::make_unique<AnalysisGatePass>());
+  pm.register_pass(std::make_unique<VerifyPass>());
   pm.register_pass(std::make_unique<ConstFoldPass>());
   pm.register_pass(std::make_unique<LinearExtractPass>());
   pm.register_pass(std::make_unique<LinearCombinePass>());

@@ -64,6 +64,9 @@ ir::NodeP fine_grained_parallelize(const ir::NodeP& root, int cores);
 // (opt/pass_manager.h) wraps this; opt::compile() with a pass spec
 // containing it produces a CompiledProgram the ThreadedExecutor consumes
 // directly, with per-pass stats recorded.
+[[deprecated(
+    "use opt::compile() with a pass spec containing threaded-prep; call this "
+    "only for a bare graph-to-graph rewrite")]]
 ir::NodeP prepare_threaded(const ir::NodeP& root, int threads,
                            int max_actors = 0);
 

@@ -49,6 +49,17 @@ std::string env_passes() {
   return env != nullptr ? env : "";
 }
 
+int env_verify() {
+  const char* env = std::getenv("SIT_VERIFY");
+  if (env == nullptr) return 0;
+  if (std::strcmp(env, "each") == 0 || std::strcmp(env, "2") == 0) return 2;
+  if (std::strcmp(env, "final") == 0 || std::strcmp(env, "1") == 0 ||
+      std::strcmp(env, "on") == 0) {
+    return 1;
+  }
+  return 0;
+}
+
 ExecEnv resolve_exec_options() {
   ExecEnv e;
   e.engine = env_engine();
@@ -57,6 +68,7 @@ ExecEnv resolve_exec_options() {
   e.stall_ms = env_stall_ms();
   e.opt_level = env_opt_level();
   e.passes = env_passes();
+  e.verify = env_verify();
   return e;
 }
 

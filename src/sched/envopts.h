@@ -9,6 +9,9 @@
 //   SIT_STALL_MS  integer ms             threaded stall-abort (default 120000)
 //   SIT_OPT       0 | 1 | 2              default optimization level (default 2)
 //   SIT_PASSES    "a,b,c"                explicit pass spec (overrides SIT_OPT)
+//   SIT_VERIFY    "final" | "each"       run the semantic verifier after the
+//                                        pipeline / after every pass
+//                                        (default off)
 //
 // resolve_exec_options() snapshots all of them at once; the field-level
 // env_*() helpers back the sched::resolve_* merge functions (which combine a
@@ -30,6 +33,7 @@ struct ExecEnv {
   int stall_ms{120000};
   int opt_level{2};    // clamped to [0, 2]
   std::string passes;  // empty = use the preset for opt_level
+  int verify{0};       // 0 off, 1 final, 2 each
 };
 
 // Snapshot every SIT_* variable.  `trace` is additionally false when the
@@ -44,5 +48,8 @@ bool env_trace();     // raw SIT_TRACE; does not consult obs::kCompiledIn
 int env_stall_ms();   // 0 / unset -> 120000; negative = never abort
 int env_opt_level();  // clamped to [0, 2]
 std::string env_passes();
+// 0 off, 1 final ("final"/"1"/"on"), 2 each ("each"/"2").  Plain int so the
+// sched layer stays independent of opt::VerifyMode, which mirrors it.
+int env_verify();
 
 }  // namespace sit

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "analysis/analyze.h"
+#include "analysis/bounds_chan.h"
 #include "runtime/compile.h"
 #include "sched/envopts.h"
 
@@ -62,7 +63,10 @@ int resolve_stall_ms(int requested) {
 CompiledProgram lower(ir::NodeP root) {
   // Full static-analysis gate: structural validation plus the dataflow and
   // graph-level passes.  Errors throw; warnings are tolerated.
-  analysis::check_or_throw(root);
+  const analysis::AnalysisResult ar = analysis::analyze(root);
+  if (!ar.ok()) {
+    throw std::runtime_error("stream program rejected\n" + ar.report());
+  }
   CompiledProgram p;
   p.source = root;
   p.graph = std::move(root);
@@ -382,6 +386,13 @@ obs::MetricsSnapshot Executor::metrics_snapshot() const {
     m.actors.push_back(std::move(a));
   }
 
+  // Static occupancy bounds for the in-order (data-driven) discipline this
+  // executor runs; cheap enough to recompute on each (quiescent) snapshot.
+  analysis::ChannelBounds bounds;
+  try {
+    bounds = analysis::channel_bounds(g_, sched_);
+  } catch (const std::exception&) {
+  }
   m.edges.reserve(g_.edges.size());
   for (std::size_t e = 0; e < g_.edges.size(); ++e) {
     const auto& ed = g_.edges[e];
@@ -396,6 +407,7 @@ obs::MetricsSnapshot Executor::metrics_snapshot() const {
     s.pushed = chans_[e]->total_pushed();
     s.popped = chans_[e]->total_popped();
     s.peak_items = static_cast<std::int64_t>(chans_[e]->high_water());
+    if (e < bounds.in_order.size()) s.bound_items = bounds.in_order[e];
     m.edges.push_back(std::move(s));
   }
 

@@ -9,6 +9,7 @@
 
 #include "analysis/analyze.h"
 #include "machine/machine.h"
+#include "obs/trace.h"
 #include "runtime/compile.h"
 
 namespace sit::sched {
@@ -21,11 +22,14 @@ using runtime::SpscRing;
 
 namespace {
 
-// Max steady-state iterations any worker may lead the slowest worker by.
-// Bounds every ring's occupancy (rings are sized for it) and the amount of
-// speculative buffering; small values lose pipelining slack, large values
-// cost memory.
-constexpr int kWindow = 4;
+// Local alias for the public window constant (texec.h).
+constexpr int kWindow = kPipelineWindow;
+
+#ifndef NDEBUG
+constexpr bool kDebugBuild = true;
+#else
+constexpr bool kDebugBuild = false;
+#endif
 
 // Tape stubs for boundary filters (pure sources/sinks have no edge).
 class NullIn final : public ir::InTape {
@@ -123,13 +127,6 @@ std::int64_t rate_into(const FlatActor& a, int edge) {
   return 0;
 }
 
-std::int64_t rate_outof(const FlatActor& a, int edge) {
-  for (std::size_t p = 0; p < a.out_edges.size(); ++p) {
-    if (a.out_edges[p] == edge) return a.out_rate[p];
-  }
-  return 0;
-}
-
 }  // namespace
 
 const char* to_string(FallbackReason r) {
@@ -178,10 +175,11 @@ ThreadedExecutor::ThreadedExecutor(CompiledProgram prog, ExecOptions opts)
     fb = FallbackReason::MessageSink;
     detail = "teleport message sink attached";
   } else {
-    // The artifact is already analyzed/flattened/scheduled; run the
-    // threaded-eligibility checks on it.
+    // The artifact is already analyzed/flattened/scheduled; compute the
+    // static channel bounds and run the threaded-eligibility checks.
     g_ = prog.flat;
     sched_ = prog.schedule;
+    bounds_ = analysis::channel_bounds(g_, sched_);
     fb = refusal_reason(&detail);
   }
   if (fb != FallbackReason::None) {
@@ -226,54 +224,16 @@ FallbackReason ThreadedExecutor::refusal_reason(std::string* detail) const {
     return FallbackReason::TooFewActors;
   }
 
-  // Single-appearance schedulability: simulate one steady state in the
-  // global topological order with each actor firing its full repetition
-  // count at once, starting from the post-init channel populations.  If any
-  // actor comes up short, the graph needs interleaved firings (e.g. a tight
-  // feedback loop) and stays sequential.
-  std::vector<std::int64_t> cnt(g_.edges.size(), 0);
-  for (std::size_t e = 0; e < g_.edges.size(); ++e) {
-    const auto& ed = g_.edges[e];
-    std::int64_t c = static_cast<std::int64_t>(ed.initial_items.size());
-    if (ed.src >= 0) {
-      c += sched_.init_fires[static_cast<std::size_t>(ed.src)] *
-           rate_outof(g_.actors[static_cast<std::size_t>(ed.src)],
-                      static_cast<int>(e));
-    } else {
-      c += sched_.input_for_init;
-    }
-    if (ed.dst >= 0) {
-      c -= sched_.init_fires[static_cast<std::size_t>(ed.dst)] *
-           rate_into(g_.actors[static_cast<std::size_t>(ed.dst)],
-                     static_cast<int>(e));
-    }
-    cnt[e] = c;
-  }
-  if (g_.input_edge >= 0) {
-    cnt[static_cast<std::size_t>(g_.input_edge)] += sched_.input_per_steady;
-  }
-  for (int actor : sched_.order) {
-    const auto ai = static_cast<std::size_t>(actor);
-    const FlatActor& a = g_.actors[ai];
-    for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
-      const int e = a.in_edges[p];
-      if (e < 0) continue;
-      std::int64_t need = sched_.reps[ai] * a.in_rate[p];
-      if (a.is_filter()) need += a.peek_extra;
-      if (cnt[static_cast<std::size_t>(e)] < need) {
-        *detail = "actor '" + a.name +
-                  "' needs interleaved firings in the steady state";
-        return FallbackReason::InterleavedFirings;
-      }
-    }
-    for (std::size_t p = 0; p < a.in_edges.size(); ++p) {
-      const int e = a.in_edges[p];
-      if (e >= 0) cnt[static_cast<std::size_t>(e)] -= sched_.reps[ai] * a.in_rate[p];
-    }
-    for (std::size_t p = 0; p < a.out_edges.size(); ++p) {
-      const int e = a.out_edges[p];
-      if (e >= 0) cnt[static_cast<std::size_t>(e)] += sched_.reps[ai] * a.out_rate[p];
-    }
+  // Single-appearance schedulability: delegated to the static channel-bound
+  // analysis, which simulates one steady state in the global topological
+  // order with each actor firing its full repetition count at once, starting
+  // from the post-init channel populations.  If any actor comes up short,
+  // the graph needs interleaved firings (e.g. a tight feedback loop) and
+  // stays sequential.
+  if (!bounds_.single_appearance) {
+    *detail = "actor '" + bounds_.blocker +
+              "' needs interleaved firings in the steady state";
+    return FallbackReason::InterleavedFirings;
   }
   return FallbackReason::None;
 }
@@ -649,9 +609,13 @@ void ThreadedExecutor::partition_and_migrate() {
                            g_.edges[static_cast<std::size_t>(g_.input_edge)].dst)]
                      : -1;
 
-  // Migrate cross-thread edges from Channel to SPSC rings.  Capacity covers
-  // the post-init live items plus (window + 2) iterations of traffic -- one
-  // more than the pipelining window can ever put in flight.
+  // Migrate cross-thread edges from Channel to SPSC rings, sized to the
+  // exact static occupancy bound: post-init level plus (window + 1)
+  // iterations of traffic -- the producer of iteration i may run while the
+  // slowest consumer has completed only iteration i - 1 - kWindow, so at
+  // most window + 1 epochs of production sit live on top of the steady
+  // level.  The sized ring never rejects a push (check_bounds re-verifies
+  // this against observed high water).
   int ring_edges = 0;
   for (std::size_t e = 0; e < g_.edges.size(); ++e) {
     const auto& ed = g_.edges[e];
@@ -667,8 +631,7 @@ void ThreadedExecutor::partition_and_migrate() {
     live.reserve(ch.size());
     while (!ch.empty()) live.push_back(ch.pop_item());
     const std::size_t cap =
-        live.size() +
-        static_cast<std::size_t>((kWindow + 2) * sched_.edge_traffic[e]) + 16;
+        static_cast<std::size_t>(bounds_.pipelined(e, kWindow));
     auto ring = std::make_unique<SpscRing>(cap);
     ring->preload(live, pushed, popped);
     rings_[e] = std::move(ring);
@@ -876,8 +839,34 @@ std::vector<double> ThreadedExecutor::run_steady(int n) {
       steady_marked_ = true;
     }
     run_threaded(remaining);
+    // With the workers joined, every high-water counter is quiescent;
+    // debug and observability builds re-verify the static bounds held.
+    if (kDebugBuild || obs::kCompiledIn) check_bounds();
   }
   return take_output();
+}
+
+void ThreadedExecutor::check_bounds() const {
+  for (std::size_t e = 0; e < g_.edges.size(); ++e) {
+    if (e >= bounds_.post_init.size() || bounds_.post_init[e] < 0) continue;
+    const bool ring = rings_[e] != nullptr;
+    const std::int64_t limit = ring
+                                   ? bounds_.pipelined(e, kWindow)
+                                   : bounds_.channel_bound(e);
+    const std::int64_t seen = static_cast<std::int64_t>(
+        ring ? rings_[e]->high_water() : chans_[e]->high_water());
+    if (seen > limit) {
+      const auto& ed = g_.edges[e];
+      const std::string name =
+          g_.actors[static_cast<std::size_t>(ed.src)].name + "->" +
+          g_.actors[static_cast<std::size_t>(ed.dst)].name;
+      throw std::logic_error(
+          "channel-bound violation on edge '" + name + "' (" +
+          (ring ? "ring" : "channel") + "): observed peak " +
+          std::to_string(seen) + " items exceeds static bound " +
+          std::to_string(limit));
+    }
+  }
 }
 
 std::vector<double> ThreadedExecutor::take_output() {
@@ -944,6 +933,10 @@ obs::MetricsSnapshot ThreadedExecutor::metrics_snapshot() const {
     s.popped = edge_popped(static_cast<int>(e));
     s.peak_items = static_cast<std::int64_t>(
         s.ring ? rings_[e]->high_water() : chans_[e]->high_water());
+    if (e < bounds_.post_init.size() && bounds_.post_init[e] >= 0) {
+      s.bound_items = s.ring ? bounds_.pipelined(e, kWindow)
+                             : bounds_.channel_bound(e);
+    }
     m.edges.push_back(std::move(s));
   }
 

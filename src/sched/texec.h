@@ -23,9 +23,12 @@
 //     the computation -- no global barrier between steady states.
 //   * Cross-thread edges are migrated to lock-free SPSC rings
 //     (runtime/spsc.h); intra-thread edges keep the unsynchronized Channel.
-//     A sliding iteration window (kWindow in texec.cc) caps how far any
-//     worker runs ahead, which bounds ring occupancy so each ring is sized
-//     once: post-init live items + (window + 2) * steady-state traffic.
+//     A sliding iteration window (kPipelineWindow) caps how far any worker
+//     runs ahead, which bounds ring occupancy so each ring is sized once to
+//     the exact static bound analysis::channel_bounds computes: post-init
+//     level + (window + 1) * steady-state traffic.  Debug/observability
+//     builds re-check every edge's observed high water against its static
+//     bound after the workers join.
 //   * Deadlock freedom: induction over (iteration, topo position).  The
 //     earliest unfinished firing's data waits point only at strictly smaller
 //     (iteration, topo) pairs (back edges carry the previous iteration's
@@ -54,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/bounds_chan.h"
 #include "ir/graph.h"
 #include "runtime/channel.h"
 #include "runtime/flatgraph.h"
@@ -64,6 +68,13 @@
 #include "sched/schedule.h"
 
 namespace sit::sched {
+
+// Max steady-state iterations any worker may run ahead of the slowest
+// worker.  Bounds every ring's occupancy at exactly
+// analysis::ChannelBounds::pipelined(e, kPipelineWindow), which is how the
+// executor sizes each ring; small values lose pipelining slack, large values
+// cost memory.  Public so tools and tests can reproduce the ring bound.
+inline constexpr int kPipelineWindow = 4;
 
 // Why a ThreadedExecutor fell back to the embedded sequential Executor.
 // The enum and its to_string names are a stable interface -- streamprof
@@ -139,6 +150,16 @@ class ThreadedExecutor {
 
   [[nodiscard]] const ThreadedReport& report() const { return report_; }
 
+  // The static per-edge occupancy bounds the executor sized its storage
+  // from (analysis::channel_bounds over the compiled schedule).  Rings are
+  // sized to bounds().pipelined(e, kPipelineWindow); intra-worker channels
+  // never exceed bounds().channel_bound(e).  Empty-graph defaults when the
+  // executor fell back to the sequential path (use the embedded executor's
+  // metrics instead).
+  [[nodiscard]] const analysis::ChannelBounds& bounds() const {
+    return bounds_;
+  }
+
   // --- observability --------------------------------------------------------
   // Null unless tracing is enabled; delegates to the embedded sequential
   // executor's recorder when fallen back.
@@ -165,6 +186,7 @@ class ThreadedExecutor {
   void wait_ready(int actor, obs::ThreadBuffer* tb, std::int64_t* wait_ns);
   void stage_input(std::int64_t iter);
   std::int64_t min_completed() const;
+  void check_bounds() const;  // throws if occupancy exceeded a static bound
 
   ir::NodeP root_;
   ExecOptions opts_;
@@ -173,6 +195,7 @@ class ThreadedExecutor {
 
   runtime::FlatGraph g_;
   Schedule sched_;
+  analysis::ChannelBounds bounds_;
   Engine engine_{Engine::Vm};
   Engine prog_engine_{Engine::Auto};  // the CompiledProgram's resolved choice
   std::string pipeline_;

@@ -5,7 +5,7 @@
 //
 // Negative-path coverage matters most here: every pass must reject its
 // characteristic broken program with an *error* diagnostic, since the
-// executors gate on analysis::check_or_throw.
+// executors gate on analysis::analyze reporting no errors.
 
 #include <gtest/gtest.h>
 
@@ -284,21 +284,22 @@ TEST(DynamicPeek, CountsFlagInsteadOfSilentZeroWindow) {
 
 // ---- whole-suite driver -----------------------------------------------------
 
-TEST(Analyze, CheckOrThrowGatesErrorsButToleratesWarnings) {
+TEST(Analyze, GatesErrorsButToleratesWarnings) {
   // `hoard` is dead state (warning only): the program must still pass.
   auto warn_only = filter("w")
                        .rates(1, 1, 1)
                        .scalar("hoard")
                        .work(seq({let("hoard", peek_(ci(0))), push_(pop_())}))
                        .node();
-  EXPECT_NO_THROW(analysis::check_or_throw(wrap(std::move(warn_only), 1)));
+  const AnalysisResult warn_res = analysis::analyze(wrap(std::move(warn_only), 1));
+  EXPECT_TRUE(warn_res.ok());
+  EXPECT_GT(warn_res.diagnostics.size(), 0u);
 
   auto broken = filter("b")
                     .rates(1, 1, 1)
                     .work(seq({push_(v("nope") + pop_())}))
                     .node();
-  EXPECT_THROW(analysis::check_or_throw(wrap(std::move(broken), 1)),
-               std::runtime_error);
+  EXPECT_FALSE(analysis::analyze(wrap(std::move(broken), 1)).ok());
 }
 
 // ---- interpreter debug checks ----------------------------------------------

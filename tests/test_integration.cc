@@ -14,6 +14,11 @@
 #include "parallel/transforms.h"
 #include "sched/exec.h"
 
+// This file deliberately exercises the deprecated whole-program shims
+// (linear::optimize / parallel::prepare_threaded) alongside the pass
+// pipeline that replaced them.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace sit {
 namespace {
 

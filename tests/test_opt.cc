@@ -57,7 +57,7 @@ ir::NodeP observable(const ir::NodeP& app) {
 TEST(PassRegistry, AllBuiltinsRegistered) {
   const PassManager& pm = PassManager::global();
   for (const char* name :
-       {"validate", "analysis-gate", "const-fold", "linear-extract",
+       {"validate", "analysis-gate", "verify", "const-fold", "linear-extract",
         "linear-combine", "frequency", "selective-fuse", "fission",
         "threaded-prep"}) {
     Pass* p = pm.find(name);
@@ -66,7 +66,7 @@ TEST(PassRegistry, AllBuiltinsRegistered) {
     EXPECT_NE(std::string(p->description()), "");
   }
   EXPECT_EQ(pm.find("nonsense"), nullptr);
-  EXPECT_EQ(pm.pass_names().size(), 9u);
+  EXPECT_EQ(pm.pass_names().size(), 10u);
 }
 
 TEST(PassRegistry, LaterRegistrationShadows) {

@@ -27,6 +27,11 @@
 #include "sched/exec.h"
 #include "sched/texec.h"
 
+// This file deliberately exercises the deprecated whole-program shims
+// (linear::optimize / parallel::prepare_threaded) alongside the pass
+// pipeline that replaced them.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace sit {
 namespace {
 

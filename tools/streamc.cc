@@ -2,8 +2,8 @@
 // pipeline (src/opt), report what every pass did, and run the result.
 //
 //   streamc --app=NAME [-O0|-O1|-O2] [--passes=a,b,c] [--report]
-//           [--dump-after=PASS] [--engine=vm|tree] [--threads=N]
-//           [--steady=N] [--metrics=FILE] [--quiet]
+//           [--verify-each] [--dump-after=PASS] [--engine=vm|tree]
+//           [--threads=N] [--steady=N] [--metrics=FILE] [--quiet]
 //   streamc --list
 //   streamc --list-passes
 //
@@ -11,10 +11,12 @@
 // overrides them with an explicit comma-separated spec (validate and
 // analysis-gate are prepended if missing).  --report prints the per-pass
 // table (wall time, actor/edge counts before -> after, modeled cost delta)
-// plus every per-candidate optimization decision.  --dump-after prints the
-// graph as it stands after the named pass.  The compiled artifact then runs
-// through ThreadedExecutor (one thread = embedded sequential executor), so
-// the same driver exercises every engine/thread combination.
+// plus every per-candidate optimization decision.  --verify-each runs the
+// semantic verifier (analysis/verify.h) after every pass; a failure names
+// the offending pass (equivalent to SIT_VERIFY=each).  --dump-after prints
+// the graph as it stands after the named pass.  The compiled artifact then
+// runs through ThreadedExecutor (one thread = embedded sequential executor),
+// so the same driver exercises every engine/thread combination.
 
 #include <cctype>
 #include <cstdio>
@@ -34,8 +36,8 @@ void usage(std::FILE* to) {
   std::fprintf(
       to,
       "usage: streamc --app=NAME [-O0|-O1|-O2] [--passes=a,b,c] [--report]\n"
-      "               [--dump-after=PASS] [--engine=vm|tree] [--threads=N]\n"
-      "               [--steady=N] [--metrics=FILE] [--quiet]\n"
+      "               [--verify-each] [--dump-after=PASS] [--engine=vm|tree]\n"
+      "               [--threads=N] [--steady=N] [--metrics=FILE] [--quiet]\n"
       "       streamc --list\n"
       "       streamc --list-passes\n");
 }
@@ -65,6 +67,7 @@ struct Args {
   int steady{16};
   std::string metrics_path;
   bool report{false};
+  bool verify_each{false};
   bool list{false};
   bool list_passes{false};
   bool quiet{false};
@@ -92,6 +95,8 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->list_passes = true;
     } else if (arg == "--report") {
       a->report = true;
+    } else if (arg == "--verify-each") {
+      a->verify_each = true;
     } else if (arg == "--quiet") {
       a->quiet = true;
     } else if (arg == "-O0") {
@@ -173,6 +178,7 @@ int main(int argc, char** argv) {
   sit::opt::CompileOptions copts;
   copts.level = args.level;
   copts.passes = args.passes;
+  if (args.verify_each) copts.pass.verify_each = sit::opt::VerifyMode::Each;
   copts.exec.threads = args.threads;
   if (args.engine == "vm") copts.exec.engine = sit::sched::Engine::Vm;
   if (args.engine == "tree") copts.exec.engine = sit::sched::Engine::Tree;

@@ -1,17 +1,29 @@
 // streamlint -- run the full static-analysis suite over stream programs.
 //
-// With no arguments every built-in program (the benchmark suite plus the
-// example graphs) is linted; names select a subset.  --demo builds one of
-// the deliberately-broken programs so the failure modes of each pass can be
-// demonstrated (and regression-tested: the exit code is nonzero whenever
-// any linted program has an error diagnostic).
+// v2: programs are linted through the same pass pipeline streamc compiles
+// with (-O levels / --passes parity), with the semantic verifier
+// (analysis/verify.h) run over the final graph -- or after every pass with
+// --verify-each, in which case a failure names the offending pass.  The
+// static channel-bound analysis (analysis/bounds_chan.h) runs on every
+// program that compiles; --bounds prints the per-edge occupancy table
+// (steady traffic, post-init level, in-order and single-appearance peaks,
+// and the pipelined bound the threaded runtime sizes its rings to).
+//
+// With no program arguments every built-in program (the benchmark suite
+// plus the example graphs) is linted; names select a subset.  --demo builds
+// one of the deliberately-broken programs so the failure modes of each pass
+// can be demonstrated (and regression-tested: the exit code is nonzero
+// whenever any linted program has an error diagnostic).
 //
 //   streamlint                    lint everything
 //   streamlint DCT FMRadio        lint two benchmarks
+//   streamlint -O1 --bounds FIR   compile at -O1, print the bounds table
+//   streamlint --json             machine-readable diagnostics on stdout
 //   streamlint --list             show available program names
 //   streamlint --demo bad-peek    lint a program with an out-of-window peek
 //
-// Exit status: 0 clean (warnings allowed), 1 errors found, 2 usage.
+// Exit status: 0 clean (notes allowed), 1 errors found, 2 usage,
+// 3 warnings but no errors.
 
 #include <cstdio>
 #include <cstring>
@@ -20,11 +32,14 @@
 #include <vector>
 
 #include "analysis/analyze.h"
+#include "analysis/bounds_chan.h"
 #include "apps/apps.h"
 #include "apps/common.h"
 #include "apps/radio.h"
 #include "ir/dsl.h"
 #include "ir/graph.h"
+#include "opt/compile.h"
+#include "sched/texec.h"
 
 namespace {
 
@@ -140,57 +155,247 @@ std::vector<Program> demo_programs() {
   };
 }
 
-// ---- driver -----------------------------------------------------------------
+// ---- lint -------------------------------------------------------------------
 
-int lint(const Program& p, bool verbose) {
-  analysis::AnalysisResult r;
+struct Options {
+  bool verbose{false};
+  bool verify_each{false};
+  bool bounds{false};
+  bool json{false};
+  opt::OptLevel level{opt::OptLevel::Auto};
+  std::string passes;
+  int threads{0};  // forwarded to the mapping passes when spec'd
+};
+
+struct LintResult {
+  std::string name;
+  std::vector<analysis::Diagnostic> diags;
+  std::size_t errors{0};
+  std::size_t warnings{0};  // Severity::Warning only; notes are advisory
+  bool compiled{false};
+  // Populated when the program compiled.
+  runtime::FlatGraph flat;
+  sched::Schedule sched;
+  analysis::ChannelBounds bounds;
+};
+
+std::string edge_name(const runtime::FlatGraph& g, std::size_t e) {
+  const auto& ed = g.edges[e];
+  return (ed.src >= 0 ? g.actors[static_cast<std::size_t>(ed.src)].name
+                      : std::string("input")) +
+         "->" +
+         (ed.dst >= 0 ? g.actors[static_cast<std::size_t>(ed.dst)].name
+                      : std::string("output"));
+}
+
+LintResult lint(const Program& p, const Options& opts) {
+  LintResult r;
+  r.name = p.name;
+
+  opt::CompileOptions copts;
+  copts.level = opts.level;
+  copts.passes = opts.passes;
+  copts.exec.threads = opts.threads;
+  // Always verify: the final graph by default, every pipeline stage with
+  // --verify-each (a failure then names the offending pass).
+  copts.pass.verify_each =
+      opts.verify_each ? opt::VerifyMode::Each : opt::VerifyMode::Final;
+
+  opt::PassContext ctx;
+  sched::CompiledProgram prog;
   try {
-    r = analysis::analyze(p.make());
+    prog = opt::compile(p.make(), copts, &ctx);
+    r.compiled = true;
   } catch (const std::exception& e) {
-    std::printf("FAIL  %s\n    internal error: %s\n", p.name.c_str(), e.what());
-    return 1;
+    // The gate/verify passes leave their findings in ctx.diagnostics; only
+    // synthesize one when the failure carried no diagnostic (e.g. an
+    // unschedulable graph rejected by the scheduler itself).
+    if (!analysis::has_errors(ctx.diagnostics)) {
+      ctx.diagnostics.push_back(
+          analysis::error("compile", p.name, e.what()));
+    }
   }
-  const std::size_t errors = r.errors();
-  const std::size_t warnings = r.diagnostics.size() - errors;
-  if (errors == 0 && (warnings == 0 || !verbose)) {
-    std::printf("ok    %s", p.name.c_str());
-    if (warnings > 0) std::printf("  (%zu warning%s)", warnings, warnings == 1 ? "" : "s");
-    std::printf("\n");
-    return 0;
+  r.diags = std::move(ctx.diagnostics);
+
+  if (r.compiled) {
+    r.flat = std::move(prog.flat);
+    r.sched = std::move(prog.schedule);
+    r.bounds = analysis::channel_bounds(r.flat, r.sched);
+    if (!r.bounds.single_appearance) {
+      r.diags.push_back(analysis::note(
+          "bounds", r.bounds.blocker,
+          "no single-appearance steady schedule (actor needs interleaved "
+          "firings); the threaded runtime falls back to sequential"));
+    }
   }
-  std::printf("%s  %s\n", errors > 0 ? "FAIL" : "warn", p.name.c_str());
-  std::printf("%s", r.report().c_str());
-  return errors > 0 ? 1 : 0;
+
+  r.errors = analysis::count_errors(r.diags);
+  for (const auto& d : r.diags) {
+    if (d.severity == analysis::Severity::Warning) ++r.warnings;
+  }
+  return r;
+}
+
+void print_bounds(const LintResult& r) {
+  std::printf("  channel bounds (pipelining window=%d):\n",
+              sched::kPipelineWindow);
+  std::printf("  %-36s %8s %10s %9s %7s %10s\n", "edge", "traffic",
+              "post-init", "in-order", "single", "pipelined");
+  for (std::size_t e = 0; e < r.flat.edges.size(); ++e) {
+    const std::string name = edge_name(r.flat, e);
+    if (r.bounds.post_init[e] < 0) {
+      std::printf("  %-36.36s %8lld %10s %9s %7s %10s\n", name.c_str(),
+                  static_cast<long long>(r.bounds.traffic[e]), "-", "-", "-",
+                  "-");
+      continue;
+    }
+    std::printf("  %-36.36s %8lld %10lld %9lld %7lld %10lld\n", name.c_str(),
+                static_cast<long long>(r.bounds.traffic[e]),
+                static_cast<long long>(r.bounds.post_init[e]),
+                static_cast<long long>(r.bounds.in_order[e]),
+                static_cast<long long>(r.bounds.steady_single[e]),
+                static_cast<long long>(
+                    r.bounds.pipelined(e, sched::kPipelineWindow)));
+  }
+}
+
+// ---- JSON output ------------------------------------------------------------
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(const std::vector<LintResult>& results, const Options& opts) {
+  std::printf("{\n  \"programs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LintResult& r = results[i];
+    std::printf("    {\"name\": \"%s\", \"errors\": %zu, \"warnings\": %zu,\n",
+                escape(r.name).c_str(), r.errors, r.warnings);
+    std::printf("     \"diagnostics\": [");
+    for (std::size_t d = 0; d < r.diags.size(); ++d) {
+      const auto& diag = r.diags[d];
+      std::printf(
+          "%s\n      {\"severity\": \"%s\", \"pass\": \"%s\", \"code\": "
+          "\"%s\", \"where\": \"%s\", \"message\": \"%s\"}",
+          d > 0 ? "," : "", analysis::to_string(diag.severity),
+          escape(diag.pass).c_str(), escape(diag.code).c_str(),
+          escape(diag.where).c_str(), escape(diag.message).c_str());
+    }
+    std::printf("%s]", r.diags.empty() ? "" : "\n     ");
+    if (opts.bounds && r.compiled) {
+      std::printf(",\n     \"bounds\": [");
+      for (std::size_t e = 0; e < r.flat.edges.size(); ++e) {
+        std::printf(
+            "%s\n      {\"edge\": \"%s\", \"traffic\": %lld, "
+            "\"post_init\": %lld, \"in_order\": %lld, \"steady_single\": "
+            "%lld, \"pipelined\": %lld}",
+            e > 0 ? "," : "", escape(edge_name(r.flat, e)).c_str(),
+            static_cast<long long>(r.bounds.traffic[e]),
+            static_cast<long long>(r.bounds.post_init[e]),
+            static_cast<long long>(r.bounds.in_order[e]),
+            static_cast<long long>(r.bounds.steady_single[e]),
+            static_cast<long long>(
+                r.bounds.post_init[e] < 0
+                    ? -1
+                    : r.bounds.pipelined(e, sched::kPipelineWindow)));
+      }
+      std::printf("%s]", r.flat.edges.empty() ? "" : "\n     ");
+    }
+    std::printf("}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const auto& r : results) {
+    errors += r.errors;
+    warnings += r.warnings;
+  }
+  std::printf("  ],\n  \"errors\": %zu,\n  \"warnings\": %zu\n}\n", errors,
+              warnings);
 }
 
 void usage(std::FILE* to) {
-  std::fprintf(to,
-               "usage: streamlint [--verbose] [--list] [--demo NAME] [NAME...]\n"
-               "  --verbose   print warning diagnostics for clean programs\n"
-               "  --list      list lintable program names and exit\n"
-               "  --demo      lint a deliberately-broken demo program\n");
+  std::fprintf(
+      to,
+      "usage: streamlint [options] [NAME...]\n"
+      "  -O0|-O1|-O2     compile with the preset pipeline (default: SIT_OPT)\n"
+      "  --passes=a,b,c  compile with an explicit pass spec\n"
+      "  --verify-each   run the semantic verifier after every pass\n"
+      "  --bounds        print the static channel-bound table per program\n"
+      "  --json          machine-readable diagnostics on stdout\n"
+      "  --threads=N     thread count for mapping passes in --passes specs\n"
+      "  --verbose       print warning diagnostics for clean programs\n"
+      "  --list          list lintable program names and exit\n"
+      "  --demo NAME     lint a deliberately-broken demo program\n"
+      "exit: 0 clean, 1 errors, 2 usage, 3 warnings only\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool verbose = false;
+  Options opts;
   std::vector<std::string> selected;
   std::vector<std::string> demos;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    std::string val;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      val = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
     if (arg == "--verbose" || arg == "-v") {
-      verbose = true;
+      opts.verbose = true;
+    } else if (arg == "--verify-each") {
+      opts.verify_each = true;
+    } else if (arg == "--bounds") {
+      opts.bounds = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "-O0") {
+      opts.level = opt::OptLevel::O0;
+    } else if (arg == "-O1") {
+      opts.level = opt::OptLevel::O1;
+    } else if (arg == "-O2") {
+      opts.level = opt::OptLevel::O2;
+    } else if (arg == "--passes") {
+      if (val.empty() && i + 1 < argc) val = argv[++i];
+      if (val.empty()) {
+        usage(stderr);
+        return 2;
+      }
+      opts.passes = val;
+    } else if (arg == "--threads") {
+      if (val.empty() && i + 1 < argc) val = argv[++i];
+      opts.threads = std::atoi(val.c_str());
     } else if (arg == "--list") {
       for (const auto& p : all_programs()) std::printf("%s\n", p.name.c_str());
       for (const auto& p : demo_programs()) std::printf("%s (demo)\n", p.name.c_str());
       return 0;
     } else if (arg == "--demo") {
-      if (i + 1 >= argc) {
+      if (val.empty() && i + 1 < argc) val = argv[++i];
+      if (val.empty()) {
         usage(stderr);
         return 2;
       }
-      demos.emplace_back(argv[++i]);
+      demos.push_back(val);
     } else if (arg == "--help" || arg == "-h") {
       usage(stdout);
       return 0;
@@ -236,11 +441,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::vector<LintResult> results;
+  results.reserve(run.size());
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
   int failures = 0;
-  for (const auto& p : run) failures += lint(p, verbose);
-  if (run.size() > 1) {
-    std::printf("%zu program%s linted, %d with errors\n", run.size(),
-                run.size() == 1 ? "" : "s", failures);
+  for (const auto& p : run) {
+    LintResult r = lint(p, opts);
+    errors += r.errors;
+    warnings += r.warnings;
+    if (r.errors > 0) ++failures;
+    if (!opts.json) {
+      if (r.errors == 0 && (r.warnings == 0 || !opts.verbose)) {
+        std::printf("ok    %s", r.name.c_str());
+        if (r.warnings > 0) {
+          std::printf("  (%zu warning%s)", r.warnings,
+                      r.warnings == 1 ? "" : "s");
+        }
+        std::printf("\n");
+      } else {
+        std::printf("%s  %s\n", r.errors > 0 ? "FAIL" : "warn",
+                    r.name.c_str());
+        std::printf("%s", analysis::render(r.diags).c_str());
+      }
+      if (opts.bounds && r.compiled) print_bounds(r);
+    }
+    results.push_back(std::move(r));
   }
-  return failures > 0 ? 1 : 0;
+  if (opts.json) {
+    print_json(results, opts);
+  } else if (run.size() > 1) {
+    std::printf("%zu program%s linted, %d with errors, %zu warning%s\n",
+                run.size(), run.size() == 1 ? "" : "s", failures, warnings,
+                warnings == 1 ? "" : "s");
+  }
+  if (errors > 0) return 1;
+  if (warnings > 0) return 3;
+  return 0;
 }

@@ -16,11 +16,6 @@
 #include "runtime/flatgraph.h"
 #include "sched/schedule.h"
 
-// This file deliberately exercises the deprecated whole-program shims
-// (linear::optimize / parallel::prepare_threaded) alongside the pass
-// pipeline that replaced them.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace {
 
 double cost_per_item(const sit::ir::NodeP& app) {
@@ -73,9 +68,9 @@ int main() {
     comb.enable_frequency = false;
     OptimizeOptions freq;
     freq.enable_combination = false;
-    const double c1 = cost_per_item(sit::linear::optimize(app, comb));
-    const double c2 = cost_per_item(sit::linear::optimize(app, freq));
-    const double c3 = cost_per_item(sit::linear::optimize(app, {}));
+    const double c1 = cost_per_item(sit::linear::optimize_selection(app, comb));
+    const double c2 = cost_per_item(sit::linear::optimize_selection(app, freq));
+    const double c3 = cost_per_item(sit::linear::optimize_selection(app, {}));
     std::printf("%-14s %11.2fx %11.2fx %9.2fx\n", name.c_str(), direct / c1,
                 direct / c2, direct / c3);
   }
@@ -137,7 +132,7 @@ int main() {
   for (double wgt : {0.0, 0.05, 0.5, 2.0}) {
     OptimizeOptions o;
     o.sync_weight = wgt;
-    const auto g = sit::linear::optimize(sit::apps::make_app("FMRadio"), o);
+    const auto g = sit::linear::optimize_selection(sit::apps::make_app("FMRadio"), o);
     std::printf("  sync_weight %.2f -> %d leaf actors, cost/item %.1f\n", wgt,
                 sit::ir::count_filters(g), cost_per_item(g));
   }

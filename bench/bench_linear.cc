@@ -14,11 +14,6 @@
 #include "runtime/flatgraph.h"
 #include "sched/schedule.h"
 
-// This file deliberately exercises the deprecated whole-program shims
-// (linear::optimize / parallel::prepare_threaded) alongside the pass
-// pipeline that replaced them.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace {
 
 // Cycle-weighted cost per source item of a closed program.
@@ -66,11 +61,11 @@ int main() {
 
     sit::linear::OptimizeOptions comb_only;
     comb_only.enable_frequency = false;
-    const auto combined = sit::linear::optimize(app, comb_only);
+    const auto combined = sit::linear::optimize_selection(app, comb_only);
     const double comb_cost = cost_per_item(combined);
 
     sit::linear::OptimizeStats stats;
-    const auto autosel = sit::linear::optimize(app, {}, &stats);
+    const auto autosel = sit::linear::optimize_selection(app, {}, &stats);
     const double auto_cost = cost_per_item(autosel);
 
     const double spd_c = comb_cost > 0 ? direct / comb_cost : 0.0;

@@ -11,11 +11,6 @@
 #include "sched/schedule.h"
 #include "sdep/sdep.h"
 
-// This file deliberately exercises the deprecated whole-program shims
-// (linear::optimize / parallel::prepare_threaded) alongside the pass
-// pipeline that replaced them.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace {
 
 void BM_FlattenAndSchedule(benchmark::State& state, const char* app) {
@@ -51,7 +46,7 @@ void BM_OptimizeSelection(benchmark::State& state, const char* app) {
   sit::linear::OptimizeOptions opts;
   opts.enable_frequency = false;  // keep the loop body deterministic in cost
   for (auto _ : state) {
-    auto out = sit::linear::optimize(g, opts);
+    auto out = sit::linear::optimize_selection(g, opts);
     benchmark::DoNotOptimize(out.get());
   }
 }

@@ -89,9 +89,18 @@ inline std::int64_t bench_run_mono_ns() {
 // `metrics`, when non-null, embeds a full obs::MetricsSnapshot (per-actor /
 // per-edge / per-worker tables) under a "metrics" key, giving the perf
 // trajectory per-actor attribution instead of just end-to-end rates.
+//
+// `max_threads`, when > 0, is the largest worker count the binary actually
+// measured (scaling sweeps measure several counts in one run, so the
+// environment's SIT_THREADS is not the right oversubscription signal).  A
+// run whose measured thread count exceeds the host cpu count measures
+// scheduler contention, not the runtime: the JSON is stamped
+// degraded / non-authoritative so trajectory tooling and the CI gate can
+// refuse the numbers, and the operator is warned directly.
 inline bool write_bench_json(const std::string& path, const std::string& bench,
                              const std::vector<BenchRecord>& records,
-                             const obs::MetricsSnapshot* metrics = nullptr) {
+                             const obs::MetricsSnapshot* metrics = nullptr,
+                             int max_threads = 0) {
   std::ofstream f(path);
   if (!f) return false;
   // One consolidated environment snapshot (sched/envopts.h) supplies every
@@ -101,16 +110,14 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
   // the measured executor consumed a pipeline-compiled program.
   const ExecEnv env = resolve_exec_options();
   const char* engine = env.engine == sched::Engine::Vm ? "vm" : "tree";
-  // A run asking for more workers than the host has cores measures scheduler
-  // contention, not the runtime: stamp it degraded so trajectory tooling can
-  // exclude (or at least flag) the numbers, and warn the operator directly.
+  const int measured = max_threads > 0 ? max_threads : env.threads;
   const unsigned cpus = std::thread::hardware_concurrency();
-  const bool degraded = cpus > 0 && env.threads > static_cast<int>(cpus);
+  const bool degraded = cpus > 0 && measured > static_cast<int>(cpus);
   if (degraded) {
     std::fprintf(stderr,
                  "bench: warning: %d worker threads on a %u-cpu host; "
-                 "results stamped \"degraded\" in %s\n",
-                 env.threads, cpus, path.c_str());
+                 "results stamped \"degraded\" (authoritative: false) in %s\n",
+                 measured, cpus, path.c_str());
   }
   f << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n"
     << "  \"git_sha\": \"" << json_escape(bench_git_sha()) << "\",\n"
@@ -119,8 +126,9 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
     << "  \"opt\": {\"level\": " << env.opt_level << ", \"passes\": \""
     << json_escape(env.passes) << "\"},\n"
     << "  \"host\": {\"hostname\": \"" << json_escape(bench_hostname())
-    << "\", \"cpus\": " << cpus << ", \"degraded\": "
-    << (degraded ? "true" : "false") << "},\n"
+    << "\", \"cpus\": " << cpus << ", \"max_threads_measured\": " << measured
+    << ", \"degraded\": " << (degraded ? "true" : "false")
+    << ", \"authoritative\": " << (degraded ? "false" : "true") << "},\n"
     << "  \"run_mono_ns\": " << bench_run_mono_ns() << ",\n"
     << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {

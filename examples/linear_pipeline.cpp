@@ -16,11 +16,6 @@
 #include "linear/optimize.h"
 #include "sched/exec.h"
 
-// This file deliberately exercises the deprecated whole-program shims
-// (linear::optimize / parallel::prepare_threaded) alongside the pass
-// pipeline that replaced them.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 using namespace sit;
 using namespace sit::ir;
 
@@ -87,7 +82,7 @@ int main() {
 
   // --- automatic selection -------------------------------------------------------
   linear::OptimizeStats stats;
-  NodeP best = linear::optimize(chain, {}, &stats);
+  NodeP best = linear::optimize_selection(chain, {}, &stats);
   std::printf("\nautomatic selection: %d linear filters, %d collapses, %d "
               "frequency nodes\n", stats.linear_filters, stats.combinations,
               stats.frequency_nodes);

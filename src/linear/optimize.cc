@@ -281,8 +281,8 @@ std::string OptimizeStats::log() const {
   return out;
 }
 
-NodeP optimize(const NodeP& root, const OptimizeOptions& opts,
-               OptimizeStats* stats) {
+NodeP optimize_selection(const NodeP& root, const OptimizeOptions& opts,
+                         OptimizeStats* stats) {
   NodeP fresh = ir::clone(root);
   Optimizer opt(opts, stats);
   if (stats) stats->cost_before = node_cost(fresh).per_item(opts.sync_weight);
@@ -306,6 +306,11 @@ NodeP optimize(const NodeP& root, const OptimizeOptions& opts,
     });
   }
   return ir::clone(b.node);
+}
+
+NodeP optimize(const NodeP& root, const OptimizeOptions& opts,
+               OptimizeStats* stats) {
+  return optimize_selection(root, opts, stats);
 }
 
 std::optional<LinearRep> extract_tree(const NodeP& node,

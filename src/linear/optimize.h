@@ -60,17 +60,20 @@ struct OptimizeStats {
   [[nodiscard]] std::string log() const;  // records, one per line
 };
 
-// Returns the rewritten graph (a fresh tree; the input is not mutated).
-//
-// Deprecated shim for whole-program compilation: this is the implementation
-// behind the `linear-combine` and `frequency` passes of the pass pipeline
-// (opt/pass_manager.h), which additionally records per-pass timing/graph
-// deltas and produces the sched::CompiledProgram artifact the executors
-// consume.  Call opt::compile() instead unless you need a bare
-// graph-to-graph rewrite.
+// Run the selection algorithm and return the rewritten graph (a fresh tree;
+// the input is not mutated).  This is the implementation behind the
+// `linear-combine` and `frequency` passes of the pass pipeline
+// (opt/pass_manager.h); prefer opt::compile() for whole-program compilation
+// (per-pass stats, verification, artifact) and call this directly only for
+// a bare graph-to-graph rewrite.
+ir::NodeP optimize_selection(const ir::NodeP& root,
+                             const OptimizeOptions& opts = {},
+                             OptimizeStats* stats = nullptr);
+
+// Deprecated alias of optimize_selection (the historical entry-point name).
 [[deprecated(
-    "use opt::compile() with the linear-combine / frequency passes; call this "
-    "only for a bare graph-to-graph rewrite")]]
+    "use opt::compile() with the linear-combine / frequency passes, or "
+    "linear::optimize_selection for a bare graph-to-graph rewrite")]]
 ir::NodeP optimize(const ir::NodeP& root, const OptimizeOptions& opts = {},
                    OptimizeStats* stats = nullptr);
 

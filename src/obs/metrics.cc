@@ -24,6 +24,7 @@ std::string MetricsSnapshot::to_json() const {
   o << "  \"app\": \"" << escape(app) << "\",\n";
   o << "  \"engine\": \"" << escape(engine) << "\",\n";
   o << "  \"threads\": " << threads << ",\n";
+  o << "  \"batch\": " << batch << ",\n";
   o << "  \"threaded\": " << (threaded ? "true" : "false") << ",\n";
   o << "  \"fallback\": \"" << escape(fallback) << "\",\n";
   o << "  \"fallback_detail\": \"" << escape(fallback_detail) << "\",\n";

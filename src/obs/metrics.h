@@ -77,6 +77,7 @@ struct MetricsSnapshot {
   std::string app;     // filled by the caller (streamprof / bench)
   std::string engine;  // "vm" or "tree"
   int threads{1};
+  int batch{1};  // steady iterations per pipeline step (threaded runtime)
   bool threaded{false};
   std::string fallback;         // stable ThreadedReport reason name
   std::string fallback_detail;  // human-readable detail, may be empty

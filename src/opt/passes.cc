@@ -1,7 +1,7 @@
 // The built-in passes.  Each is a thin, named wrapper around an existing
 // subsystem entry point (ir::check, analysis::analyze, analysis::fold_work,
-// linear::extract / linear::optimize, parallel::selective_fusion /
-// data_parallelize / prepare_threaded) so the pipeline composes the same
+// linear::extract / linear::optimize_selection, parallel::selective_fusion /
+// data_parallelize / coarsen_for_threads) so the pipeline composes the same
 // transformations callers previously invoked by hand.
 
 #include <algorithm>
@@ -157,21 +157,17 @@ class LinearExtractPass final : public Pass {
   }
 };
 
-// linear::optimize runs extraction, combination, and frequency translation
-// as one selection problem; the two pipeline passes expose its sub-modes so
-// pass order (and --passes specs) can separate "collapse linear structures"
-// from "move them to the frequency domain".
+// linear::optimize_selection runs extraction, combination, and frequency
+// translation as one selection problem; the two pipeline passes expose its
+// sub-modes so pass order (and --passes specs) can separate "collapse linear
+// structures" from "move them to the frequency domain".
 PassResult run_linear(const NodeP& root, PassContext& ctx, bool combination,
                       bool frequency) {
   linear::OptimizeOptions o = ctx.options.linear;
   o.enable_combination = combination;
   o.enable_frequency = frequency;
   linear::OptimizeStats stats;
-  // This pass is the supported replacement for the deprecated shim it wraps.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  NodeP out = linear::optimize(root, o, &stats);
-#pragma GCC diagnostic pop
+  NodeP out = linear::optimize_selection(root, o, &stats);
   ctx.rewrites.insert(ctx.rewrites.end(), stats.records.begin(),
                       stats.records.end());
   const bool changed =
@@ -245,13 +241,37 @@ class ThreadedPrepPass final : public Pass {
   }
   PassResult run(const NodeP& root, PassContext& ctx) override {
     if (ctx.options.threads <= 1) return {root, false};
-    // This pass is the supported replacement for the deprecated shim it
-    // wraps.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    NodeP out = parallel::prepare_threaded(root, ctx.options.threads,
-                                           ctx.options.target_actors);
-#pragma GCC diagnostic pop
+    // The historical prepare_threaded recipe: selective fusion only when an
+    // explicit actor budget asks for it, then fiss with a permissive share
+    // gate.  The `coarsen` pass below is the batched runtime's stricter
+    // successor.
+    NodeP g = root;
+    if (ctx.options.target_actors > 0 &&
+        ir::count_filters(g) > ctx.options.target_actors) {
+      g = parallel::selective_fusion(g, ctx.options.target_actors);
+    }
+    NodeP out = parallel::data_parallelize(g, ctx.options.threads);
+    const bool changed = ir::count_filters(out) != ir::count_filters(root);
+    return {changed ? std::move(out) : root, changed};
+  }
+};
+
+// The coarse-grained shaping stage for the batched threaded runtime:
+// fuse-then-fiss down to ~one well-sized actor per worker.  Differs from
+// threaded-prep in two ways that matter at scale: the actor budget defaults
+// on (4 * threads) instead of requiring an explicit target, and the fission
+// cost gate is a quarter worker (0.25 / threads) instead of 1%, so tiny
+// actors never own a partition slice or buy a ring crossing.
+class CoarsenPass final : public Pass {
+ public:
+  const char* name() const override { return "coarsen"; }
+  const char* description() const override {
+    return "fuse-then-fiss to ~one well-sized actor per worker (cost-gated)";
+  }
+  PassResult run(const NodeP& root, PassContext& ctx) override {
+    if (ctx.options.threads <= 1) return {root, false};
+    NodeP out = parallel::coarsen_for_threads(root, ctx.options.threads,
+                                              ctx.options.target_actors);
     const bool changed = ir::count_filters(out) != ir::count_filters(root);
     return {changed ? std::move(out) : root, changed};
   }
@@ -272,6 +292,7 @@ void register_builtins(PassManager& pm) {
   pm.register_pass(std::make_unique<SelectiveFusePass>());
   pm.register_pass(std::make_unique<FissionPass>());
   pm.register_pass(std::make_unique<ThreadedPrepPass>());
+  pm.register_pass(std::make_unique<CoarsenPass>());
 }
 
 }  // namespace detail

@@ -573,6 +573,20 @@ NodeP fine_grained_parallelize(const NodeP& root, int cores) {
   return fiss_leaves(g, cores, 0.0, total, work, false);
 }
 
+NodeP coarsen_for_threads(const NodeP& root, int threads, int max_actors) {
+  if (threads <= 1) return ir::clone(root);
+  NodeP g = ir::clone(root);
+  // Actor budget first: a fine-grained graph (hundreds of leaves) would hand
+  // the partitioner hundreds of ring crossings; a few actors per worker
+  // keeps LPT flexible while the affinity pass still glues feathers.
+  const int budget = max_actors > 0 ? max_actors : 4 * threads;
+  if (ir::count_filters(g) > budget) g = selective_fusion(g, budget);
+  // Coarsen-then-fiss with the cost gate at a quarter worker of modeled
+  // work: anything lighter rides along with a neighbor instead of owning a
+  // fission replica.
+  return data_parallelize(g, threads, 0.25 / static_cast<double>(threads));
+}
+
 NodeP prepare_threaded(const NodeP& root, int threads, int max_actors) {
   if (threads <= 1) return ir::clone(root);
   NodeP g = ir::clone(root);

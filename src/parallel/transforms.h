@@ -54,6 +54,17 @@ ir::NodeP data_parallelize(const ir::NodeP& root, int cores,
 // fiss every stateless filter `cores` ways with no coarsening.
 ir::NodeP fine_grained_parallelize(const ir::NodeP& root, int cores);
 
+// Shape a graph into ~one well-sized actor per worker for the batched
+// threaded runtime (the `coarsen` pass core): selective-fuse fine-grained
+// graphs down to an actor budget (max_actors, defaulting to 4 * threads),
+// coarsen maximal stateless regions, then fiss only leaves whose modeled
+// work share clears a quarter of a worker (0.25 / threads) -- tiny actors
+// never own a partition slice, so fissing them would only buy splitter /
+// joiner traffic and ring crossings.  Returns a new tree; identity-shaped
+// clone when threads <= 1.
+ir::NodeP coarsen_for_threads(const ir::NodeP& root, int threads,
+                              int max_actors = 0);
+
 // Shape a graph for the threaded runtime (sched::ThreadedExecutor): expose
 // enough data parallelism for `threads` workers via data_parallelize.  If
 // `max_actors` > 0, first apply selective_fusion down to that many leaves so

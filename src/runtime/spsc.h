@@ -19,6 +19,16 @@
 // instead of n, and the two hot cache lines ping-pong between cores at the
 // burst rate rather than the item rate.
 //
+// Deferred (bulk) publication: in deferred mode each side advances only its
+// private position on push/pop and makes the whole burst visible with one
+// explicit publish_tail()/publish_head() release store.  Combined with the
+// cached indices, a batch of B*T items then costs exactly one release store
+// and at most one acquire load per side, independent of B.  The batched
+// threaded executor publishes once per actor per pipeline step; the
+// tail_publishes()/head_publishes() counters exist so tests can pin that
+// "one release store per batch" contract.  Immediate mode (the default)
+// publishes inside every push/pop as before.
+//
 // Capacity is fixed at construction: the threaded executor sizes each ring
 // from the schedule's per-steady-state edge traffic times the pipelining
 // window, plus the post-init live items, so a correctly sized ring never
@@ -41,7 +51,8 @@ namespace sit::runtime {
 
 class SpscRing final : public ir::InTape, public ir::OutTape {
  public:
-  explicit SpscRing(std::size_t min_capacity) {
+  explicit SpscRing(std::size_t min_capacity, bool deferred = false)
+      : deferred_(deferred) {
     std::size_t cap = 16;
     while (cap < min_capacity) cap *= 2;
     buf_.assign(cap, 0.0);
@@ -68,6 +79,8 @@ class SpscRing final : public ir::InTape, public ir::OutTape {
     head_pos_ = 0;
     head_cache_ = 0;
     tail_cache_ = items.size();
+    published_tail_ = items.size();
+    published_head_ = 0;
     high_water_ = items.size();
     base_pushed_ = prior_pushed - static_cast<std::int64_t>(items.size());
     base_popped_ = prior_popped;
@@ -87,7 +100,16 @@ class SpscRing final : public ir::InTape, public ir::OutTape {
     }
     buf_[tail_pos_ & mask_] = v;
     ++tail_pos_;
+    if (!deferred_) publish_tail();
+  }
+
+  // Make every push since the last publish visible to the consumer.  One
+  // release store per call; a no-op when nothing new was pushed.
+  void publish_tail() noexcept {
+    if (tail_pos_ == published_tail_) return;
     tail_.store(tail_pos_, std::memory_order_release);
+    published_tail_ = tail_pos_;
+    ++tail_publishes_;
   }
 
   // ---- consumer side --------------------------------------------------------
@@ -113,7 +135,7 @@ class SpscRing final : public ir::InTape, public ir::OutTape {
     if (!can_pop(1)) throw std::runtime_error("pop from empty SPSC ring");
     const double v = buf_[head_pos_ & mask_];
     ++head_pos_;
-    head_.store(head_pos_, std::memory_order_release);
+    if (!deferred_) publish_head();
     return v;
   }
 
@@ -123,7 +145,16 @@ class SpscRing final : public ir::InTape, public ir::OutTape {
       throw std::runtime_error("pop from empty SPSC ring");
     }
     head_pos_ += static_cast<std::size_t>(n);
+    if (!deferred_) publish_head();
+  }
+
+  // Return every slot freed since the last publish to the producer.  One
+  // release store per call; a no-op when nothing new was popped.
+  void publish_head() noexcept {
+    if (head_pos_ == published_head_) return;
     head_.store(head_pos_, std::memory_order_release);
+    published_head_ = head_pos_;
+    ++head_publishes_;
   }
 
   // ---- quiescent accessors (no worker running) -----------------------------
@@ -144,10 +175,20 @@ class SpscRing final : public ir::InTape, public ir::OutTape {
   // Peak occupancy as observed from the consumer side (a lower bound on the
   // true instantaneous peak -- sampled whenever the consumer refreshes).
   [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+  // Cumulative release-store counts, one per publish (quiescent reads only;
+  // each is written solely by its own side).
+  [[nodiscard]] std::int64_t tail_publishes() const noexcept {
+    return tail_publishes_;
+  }
+  [[nodiscard]] std::int64_t head_publishes() const noexcept {
+    return head_publishes_;
+  }
+  [[nodiscard]] bool deferred() const noexcept { return deferred_; }
 
  private:
   std::vector<double> buf_;
   std::size_t mask_{0};
+  bool deferred_{false};
   // Shared positions, one cache line each so producer/consumer stores do not
   // false-share.
   alignas(64) std::atomic<std::uint64_t> tail_{0};
@@ -155,9 +196,13 @@ class SpscRing final : public ir::InTape, public ir::OutTape {
   // Producer-private.
   alignas(64) std::uint64_t tail_pos_{0};
   std::uint64_t head_cache_{0};
+  std::uint64_t published_tail_{0};
+  std::int64_t tail_publishes_{0};
   // Consumer-private.
   alignas(64) std::uint64_t head_pos_{0};
   std::uint64_t tail_cache_{0};
+  std::uint64_t published_head_{0};
+  std::int64_t head_publishes_{0};
   std::size_t high_water_{0};
   // Counter bases carried over from the migrated Channel (see preload).
   std::int64_t base_pushed_{0};

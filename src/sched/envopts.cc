@@ -21,6 +21,13 @@ int env_threads() {
   return t < 1 ? 1 : t;
 }
 
+int env_batch() {
+  const char* env = std::getenv("SIT_BATCH");
+  if (env == nullptr || std::strcmp(env, "auto") == 0) return -1;
+  const int b = std::atoi(env);
+  return b < 1 ? 1 : b;
+}
+
 bool env_trace() {
   const char* env = std::getenv("SIT_TRACE");
   if (env == nullptr) return false;
@@ -64,6 +71,7 @@ ExecEnv resolve_exec_options() {
   ExecEnv e;
   e.engine = env_engine();
   e.threads = env_threads();
+  e.batch = env_batch();
   e.trace = obs::kCompiledIn && env_trace();
   e.stall_ms = env_stall_ms();
   e.opt_level = env_opt_level();

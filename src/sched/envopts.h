@@ -5,6 +5,10 @@
 //
 //   SIT_ENGINE    "vm" | "tree"          work-function engine (default vm)
 //   SIT_THREADS   integer >= 1           ThreadedExecutor workers (default 1)
+//   SIT_BATCH     integer >= 1 | "auto"  steady iterations per pipeline step
+//                                        (default auto: sized from per-edge
+//                                        traffic + measured cost, clamped to
+//                                        the static max_batch)
 //   SIT_TRACE     "1" | "on" | "true"    event tracing + timing (default off)
 //   SIT_STALL_MS  integer ms             threaded stall-abort (default 120000)
 //   SIT_OPT       0 | 1 | 2              default optimization level (default 2)
@@ -29,6 +33,7 @@ namespace sit {
 struct ExecEnv {
   sched::Engine engine{sched::Engine::Vm};
   int threads{1};
+  int batch{-1};  // -1 = auto, otherwise >= 1
   bool trace{false};
   int stall_ms{120000};
   int opt_level{2};    // clamped to [0, 2]
@@ -44,6 +49,7 @@ ExecEnv resolve_exec_options();
 // sched::resolve_* helpers).
 sched::Engine env_engine();
 int env_threads();    // >= 1
+int env_batch();      // -1 = auto (default / "auto"), otherwise >= 1
 bool env_trace();     // raw SIT_TRACE; does not consult obs::kCompiledIn
 int env_stall_ms();   // 0 / unset -> 120000; negative = never abort
 int env_opt_level();  // clamped to [0, 2]

@@ -60,6 +60,12 @@ int resolve_stall_ms(int requested) {
   return requested != 0 ? requested : env_stall_ms();
 }
 
+int resolve_batch(int requested) {
+  if (requested == 0) requested = env_batch();
+  if (requested < 0) return -1;  // auto, resolved at partition time
+  return requested < 1 ? 1 : requested;
+}
+
 CompiledProgram lower(ir::NodeP root) {
   // Full static-analysis gate: structural validation plus the dataflow and
   // graph-level passes.  Errors throw; warnings are tolerated.

@@ -55,11 +55,22 @@ bool resolve_trace(TraceMode mode);
 // negative = never abort (spin forever).
 int resolve_stall_ms(int requested);
 
+// Resolve a requested steady-iteration batch factor: 0 = consult SIT_BATCH
+// (whose default is auto), -1 = auto, values >= 1 pass through.  Returns -1
+// (auto) or a count >= 1.  Auto is resolved per program inside the
+// ThreadedExecutor at partition time, where per-edge traffic, measured actor
+// cost, and the static max_batch are known.
+int resolve_batch(int requested);
+
 struct ExecOptions {
   bool count_ops{true};
   Engine engine{Engine::Auto};
   // Worker threads for ThreadedExecutor: 0 = resolve from SIT_THREADS.
   int threads{0};
+  // Steady iterations per pipeline step (ThreadedExecutor only): 0 = resolve
+  // from SIT_BATCH, -1 = auto heuristic, >= 1 = explicit (clamped to the
+  // static max_batch of the program).
+  int batch{0};
   // Event tracing + per-firing timing (obs::Recorder).
   TraceMode trace{TraceMode::Auto};
   // Threaded runtime stall detector: abort after this many ms without

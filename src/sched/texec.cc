@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <stdexcept>
@@ -24,6 +25,17 @@ namespace {
 
 // Local alias for the public window constant (texec.h).
 constexpr int kWindow = kPipelineWindow;
+
+// Auto-batch tuning (resolve_partition_batch).  The heuristic picks the
+// smallest batch that (a) moves at least kBatchTargetItems items per ring
+// publish on the thinnest cross-worker edge and (b) gives each worker at
+// least kBatchTargetCycles weighted cycles of work per pipeline step, then
+// caps it so total ring storage stays under kBatchMemCapDoubles and the
+// factor under kMaxAutoBatch.
+constexpr std::int64_t kBatchTargetItems = 256;
+constexpr double kBatchTargetCycles = 100000.0;
+constexpr std::int64_t kMaxAutoBatch = 1024;
+constexpr std::int64_t kBatchMemCapDoubles = 1 << 21;  // 16 MiB of ring slots
 
 #ifndef NDEBUG
 constexpr bool kDebugBuild = true;
@@ -152,7 +164,8 @@ std::string ThreadedReport::to_string() const {
   char speed[32];
   std::snprintf(speed, sizeof(speed), "%.2f", predicted_speedup);
   return "threaded threads=" + std::to_string(threads) +
-         " ring-edges=" + std::to_string(ring_edges) + " speedup=" + speed;
+         " ring-edges=" + std::to_string(ring_edges) +
+         " batch=" + std::to_string(batch) + " speedup=" + speed;
 }
 
 ThreadedExecutor::ThreadedExecutor(ir::NodeP root, ExecOptions opts)
@@ -609,13 +622,17 @@ void ThreadedExecutor::partition_and_migrate() {
                            g_.edges[static_cast<std::size_t>(g_.input_edge)].dst)]
                      : -1;
 
-  // Migrate cross-thread edges from Channel to SPSC rings, sized to the
-  // exact static occupancy bound: post-init level plus (window + 1)
-  // iterations of traffic -- the producer of iteration i may run while the
-  // slowest consumer has completed only iteration i - 1 - kWindow, so at
-  // most window + 1 epochs of production sit live on top of the steady
-  // level.  The sized ring never rejects a push (check_bounds re-verifies
-  // this against observed high water).
+  // Freeze the batch factor for this placement (explicit request or auto
+  // heuristic, both clamped to the static max_batch) before sizing storage.
+  batch_ = resolve_partition_batch(cost);
+
+  // Migrate cross-thread edges from Channel to SPSC rings in deferred
+  // (bulk-publication) mode, sized to the exact static occupancy bound:
+  // post-init level plus (window + 1) steps of batch * traffic -- the
+  // producer of step s may run while the slowest consumer has completed
+  // only step s - 1 - kWindow, so at most window + 1 steps of production
+  // sit live on top of the steady level.  The sized ring never rejects a
+  // push (check_bounds re-verifies this against observed high water).
   int ring_edges = 0;
   for (std::size_t e = 0; e < g_.edges.size(); ++e) {
     const auto& ed = g_.edges[e];
@@ -631,26 +648,28 @@ void ThreadedExecutor::partition_and_migrate() {
     live.reserve(ch.size());
     while (!ch.empty()) live.push_back(ch.pop_item());
     const std::size_t cap =
-        static_cast<std::size_t>(bounds_.pipelined(e, kWindow));
-    auto ring = std::make_unique<SpscRing>(cap);
+        static_cast<std::size_t>(bounds_.pipelined(e, kWindow, batch_));
+    auto ring = std::make_unique<SpscRing>(cap, /*deferred=*/true);
     ring->preload(live, pushed, popped);
     rings_[e] = std::move(ring);
     chans_[e].reset();
     ++ring_edges;
   }
 
-  // Per-worker progress counters for the sliding window, seeded with the
-  // iterations already executed sequentially.
+  // Per-worker progress counters for the sliding window, counting completed
+  // pipeline steps (batches), not raw iterations.
+  steps_run_ = 0;
   completed_.clear();
   for (int w = 0; w < threads_; ++w) {
     auto c = std::make_unique<PaddedCounter>();
-    c->v.store(steady_run_, std::memory_order_relaxed);
+    c->v.store(0, std::memory_order_relaxed);
     completed_.push_back(std::move(c));
   }
 
   report_.threads = threads_;
   report_.owner = owner_;
   report_.ring_edges = ring_edges;
+  report_.batch = batch_;
 
   // Machine-model sanity estimate for this placement: a T x 1 grid versus
   // everything on one core, software-pipelined.
@@ -691,6 +710,52 @@ void ThreadedExecutor::partition_and_migrate() {
   partitioned_ = true;
 }
 
+int ThreadedExecutor::resolve_partition_batch(
+    const std::vector<double>& cost) const {
+  std::int64_t b = resolve_batch(opts_.batch);
+  if (b < 0) {
+    // Auto: amortize each ring publish and each window advance.  Both
+    // targets look at this placement's cross-worker edges; a placement with
+    // none (single effective worker slices never happen here, but affinity
+    // can glue everything contiguous) needs no batching.
+    std::int64_t min_traffic = 0;
+    std::int64_t sum_traffic = 0;
+    for (std::size_t e = 0; e < g_.edges.size(); ++e) {
+      const auto& ed = g_.edges[e];
+      if (ed.src < 0 || ed.dst < 0) continue;
+      if (owner_[static_cast<std::size_t>(ed.src)] ==
+          owner_[static_cast<std::size_t>(ed.dst)]) {
+        continue;
+      }
+      const std::int64_t t = std::max<std::int64_t>(1, sched_.edge_traffic[e]);
+      min_traffic = min_traffic == 0 ? t : std::min(min_traffic, t);
+      sum_traffic += t;
+    }
+    if (min_traffic == 0) {
+      b = 1;
+    } else {
+      const double total =
+          std::accumulate(cost.begin(), cost.end(), 0.0);
+      const double per_worker =
+          std::max(1.0, total / static_cast<double>(threads_));
+      const std::int64_t b_items =
+          (kBatchTargetItems + min_traffic - 1) / min_traffic;
+      const auto b_cycles =
+          static_cast<std::int64_t>(std::ceil(kBatchTargetCycles / per_worker));
+      b = std::max<std::int64_t>({1, b_items, b_cycles});
+      // Ring storage grows linearly in the batch: cap the total at
+      // kBatchMemCapDoubles across all rings.
+      const std::int64_t per_b = (kWindow + 1) * sum_traffic;
+      if (per_b > 0) b = std::min(b, std::max<std::int64_t>(1, kBatchMemCapDoubles / per_b));
+      b = std::min(b, kMaxAutoBatch);
+    }
+  }
+  // A back edge whose delay cannot cover B iterations caps the batch (the
+  // eligibility check already guaranteed max_batch >= 1).
+  b = std::min(b, bounds_.max_batch);
+  return static_cast<int>(std::max<std::int64_t>(1, b));
+}
+
 // ---- the threaded steady state ----------------------------------------------
 
 std::int64_t ThreadedExecutor::min_completed() const {
@@ -701,7 +766,8 @@ std::int64_t ThreadedExecutor::min_completed() const {
   return m;
 }
 
-void ThreadedExecutor::wait_ready(int actor, obs::ThreadBuffer* tb,
+void ThreadedExecutor::wait_ready(int actor, std::int64_t chunk,
+                                  obs::ThreadBuffer* tb,
                                   std::int64_t* wait_ns) {
   const auto ai = static_cast<std::size_t>(actor);
   const FlatActor& a = g_.actors[ai];
@@ -709,7 +775,7 @@ void ThreadedExecutor::wait_ready(int actor, obs::ThreadBuffer* tb,
     const int eid = a.in_edges[p];
     if (eid < 0 || !rings_[static_cast<std::size_t>(eid)]) continue;
     SpscRing& r = *rings_[static_cast<std::size_t>(eid)];
-    std::int64_t need = sched_.reps[ai] * a.in_rate[p];
+    std::int64_t need = sched_.reps[ai] * chunk * a.in_rate[p];
     if (a.is_filter()) need += a.peek_extra;
     const auto un = static_cast<std::size_t>(need);
     traced_spin(abort_, [&] { return r.can_pop(un); }, "waiting for input data",
@@ -721,24 +787,24 @@ void ThreadedExecutor::wait_ready(int actor, obs::ThreadBuffer* tb,
     if (eid < 0 || !rings_[static_cast<std::size_t>(eid)]) continue;
     SpscRing& r = *rings_[static_cast<std::size_t>(eid)];
     const auto room =
-        static_cast<std::size_t>(sched_.reps[ai] * a.out_rate[p]);
+        static_cast<std::size_t>(sched_.reps[ai] * chunk * a.out_rate[p]);
     traced_spin(abort_, [&] { return r.can_push(room); },
                 "waiting for output space", spin_yield_, stall_ms_, tb,
                 rec_.get(), wait_ns, actor, obs::WaitKind::Space);
   }
 }
 
-void ThreadedExecutor::stage_input(std::int64_t iter) {
+void ThreadedExecutor::stage_input(std::int64_t last_iter, std::int64_t chunk) {
   const std::int64_t need_total =
-      sched_.input_for_init + iter * sched_.input_per_steady;
+      sched_.input_for_init + last_iter * sched_.input_per_steady;
   ensure_input_for(need_total);
-  // Whether fed explicitly or generated, this iteration's quota must be
+  // Whether fed explicitly or generated, this whole step's quota must be
   // present now -- the consumer pops from a plain Channel nobody refills
-  // mid-iteration.
+  // mid-step.
   const auto ie = static_cast<std::size_t>(g_.input_edge);
   const FlatActor& d = g_.actors[static_cast<std::size_t>(g_.edges[ie].dst)];
   std::int64_t need = sched_.reps[static_cast<std::size_t>(g_.edges[ie].dst)] *
-                      rate_into(d, g_.input_edge);
+                      chunk * rate_into(d, g_.input_edge);
   if (d.is_filter()) need += d.peek_extra;
   if (static_cast<std::int64_t>(chans_[ie]->size()) < need) {
     throw std::runtime_error(
@@ -761,25 +827,45 @@ void ThreadedExecutor::worker(int w, std::int64_t first,
     t_start = rec_->now_ns();
   }
   try {
-    for (std::int64_t iter = first; iter <= last; ++iter) {
-      // Sliding window: run at most kWindow iterations ahead of the
-      // slowest worker, which bounds every ring's occupancy.
+    // Walk the run's iterations in steps of `batch_` (the final step may be
+    // a remainder chunk); every worker derives the same step boundaries from
+    // (first, last, batch_), and the window counters count steps.
+    std::int64_t step = steps_run_;
+    for (std::int64_t lo = first; lo <= last; lo += batch_) {
+      const std::int64_t hi = std::min<std::int64_t>(last, lo + batch_ - 1);
+      const std::int64_t chunk = hi - lo + 1;
+      ++step;
+      // Sliding window: run at most kWindow steps ahead of the slowest
+      // worker, which bounds every ring's occupancy.
       traced_spin(abort_,
-                  [&] { return min_completed() >= iter - 1 - kWindow; },
+                  [&] { return min_completed() >= step - 1 - kWindow; },
                   "iteration window", spin_yield_, stall_ms_, tb, rec_.get(),
                   &wait_ns, -1, obs::WaitKind::Window);
-      if (w == input_owner_) stage_input(iter);
+      if (w == input_owner_) stage_input(hi, chunk);
       for (int actor : plan_[static_cast<std::size_t>(w)]) {
-        wait_ready(actor, tb, &wait_ns);
+        wait_ready(actor, chunk, tb, &wait_ns);
         const auto ai = static_cast<std::size_t>(actor);
+        const FlatActor& a = g_.actors[ai];
         OpCounts* counts = opts_.count_ops ? &ops_[ai] : nullptr;
-        for (std::int64_t k = 0; k < sched_.reps[ai]; ++k) {
+        for (std::int64_t k = 0; k < sched_.reps[ai] * chunk; ++k) {
           fire_actor(actor, counts, tb);
+        }
+        // Bulk publication: one release store per ring per step makes the
+        // whole batch of firings visible / returns the whole batch of slots.
+        for (const int eid : a.out_edges) {
+          if (eid >= 0 && rings_[static_cast<std::size_t>(eid)]) {
+            rings_[static_cast<std::size_t>(eid)]->publish_tail();
+          }
+        }
+        for (const int eid : a.in_edges) {
+          if (eid >= 0 && rings_[static_cast<std::size_t>(eid)]) {
+            rings_[static_cast<std::size_t>(eid)]->publish_head();
+          }
         }
       }
       completed_[static_cast<std::size_t>(w)]->v.store(
-          iter, std::memory_order_release);
-      ++iters_done;
+          step, std::memory_order_release);
+      iters_done += chunk;
     }
   } catch (const Aborted&) {
     // Another worker failed first; unwind quietly.
@@ -811,6 +897,7 @@ void ThreadedExecutor::run_threaded(int iters) {
   worker(0, first, last);
   for (auto& t : pool) t.join();
   steady_run_ = last;
+  steps_run_ += (static_cast<std::int64_t>(iters) + batch_ - 1) / batch_;
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
@@ -851,8 +938,8 @@ void ThreadedExecutor::check_bounds() const {
     if (e >= bounds_.post_init.size() || bounds_.post_init[e] < 0) continue;
     const bool ring = rings_[e] != nullptr;
     const std::int64_t limit = ring
-                                   ? bounds_.pipelined(e, kWindow)
-                                   : bounds_.channel_bound(e);
+                                   ? bounds_.pipelined(e, kWindow, batch_)
+                                   : bounds_.channel_bound(e, batch_);
     const std::int64_t seen = static_cast<std::int64_t>(
         ring ? rings_[e]->high_water() : chans_[e]->high_water());
     if (seen > limit) {
@@ -892,6 +979,7 @@ obs::MetricsSnapshot ThreadedExecutor::metrics_snapshot() const {
   obs::MetricsSnapshot m;
   m.engine = engine_ == Engine::Vm ? "vm" : "tree";
   m.threads = threads_;
+  m.batch = batch_;
   m.threaded = true;
   m.fallback = "none";
   m.predicted_speedup = report_.predicted_speedup;
@@ -934,8 +1022,8 @@ obs::MetricsSnapshot ThreadedExecutor::metrics_snapshot() const {
     s.peak_items = static_cast<std::int64_t>(
         s.ring ? rings_[e]->high_water() : chans_[e]->high_water());
     if (e < bounds_.post_init.size() && bounds_.post_init[e] >= 0) {
-      s.bound_items = s.ring ? bounds_.pipelined(e, kWindow)
-                             : bounds_.channel_bound(e);
+      s.bound_items = s.ring ? bounds_.pipelined(e, kWindow, batch_)
+                             : bounds_.channel_bound(e, batch_);
     }
     m.edges.push_back(std::move(s));
   }

@@ -15,25 +15,33 @@
 //     balancing over the measured weights, with an affinity pass that glues
 //     featherweight actors (splitters, sinks, gains) to their heaviest
 //     neighbor so trivial actors do not buy a ring crossing.
-//   * Every worker executes its slice in the *global* topological order,
-//     firing each actor its full per-steady-state repetition count.  With
-//     this single-appearance discipline, a firing's inputs are produced
-//     either earlier in the same iteration (forward edges) or by the
-//     previous iteration (back edges), so per-edge quota waits alone order
-//     the computation -- no global barrier between steady states.
-//   * Cross-thread edges are migrated to lock-free SPSC rings
-//     (runtime/spsc.h); intra-thread edges keep the unsynchronized Channel.
-//     A sliding iteration window (kPipelineWindow) caps how far any worker
-//     runs ahead, which bounds ring occupancy so each ring is sized once to
-//     the exact static bound analysis::channel_bounds computes: post-init
-//     level + (window + 1) * steady-state traffic.  Debug/observability
-//     builds re-check every edge's observed high water against its static
-//     bound after the workers join.
-//   * Deadlock freedom: induction over (iteration, topo position).  The
-//     earliest unfinished firing's data waits point only at strictly smaller
-//     (iteration, topo) pairs (back edges carry the previous iteration's
-//     items) and its space waits at consumers of strictly smaller pairs, so
-//     some actor can always proceed.
+//   * Steady iterations are grouped into *batches* of B iterations (the
+//     batch factor: ExecOptions::batch / SIT_BATCH, auto-sized by default
+//     from per-edge traffic, measured cost, and the static max_batch).  One
+//     pipeline step runs a whole batch: every worker executes its slice in
+//     the *global* topological order, firing each actor reps * B times
+//     consecutively.  With this single-appearance discipline, a firing's
+//     inputs are produced either earlier in the same step (forward edges) or
+//     by the previous step (back edges), so per-edge quota waits alone order
+//     the computation -- no global barrier between steady states.  Batching
+//     is what amortizes the cross-thread machinery: each ring handoff
+//     publishes once per B*T items, and the window counters advance once per
+//     B iterations.
+//   * Cross-thread edges are migrated to lock-free SPSC rings in deferred
+//     (bulk-publication) mode (runtime/spsc.h); intra-thread edges keep the
+//     unsynchronized Channel.  A sliding step window (kPipelineWindow) caps
+//     how far any worker runs ahead, which bounds ring occupancy so each
+//     ring is sized once to the exact static bound
+//     analysis::channel_bounds computes: post-init level +
+//     (window + 1) * B * steady-state traffic.  Debug/observability builds
+//     re-check every edge's observed high water against its static bound
+//     after the workers join.
+//   * Deadlock freedom: induction over (step, topo position).  The earliest
+//     unfinished firing's data waits point only at strictly smaller
+//     (step, topo) pairs (back edges carry the previous step's items, and
+//     analysis::ChannelBounds::max_batch caps B so every back edge's delay
+//     covers a whole batch) and its space waits at consumers of strictly
+//     smaller pairs, so some actor can always proceed.
 //
 // Determinism: every actor's state, tally, and every channel's FIFO content
 // have exactly one owner thread, so outputs, final filter state, and the
@@ -69,11 +77,12 @@
 
 namespace sit::sched {
 
-// Max steady-state iterations any worker may run ahead of the slowest
-// worker.  Bounds every ring's occupancy at exactly
-// analysis::ChannelBounds::pipelined(e, kPipelineWindow), which is how the
-// executor sizes each ring; small values lose pipelining slack, large values
-// cost memory.  Public so tools and tests can reproduce the ring bound.
+// Max pipeline steps (batches of `batch` steady iterations) any worker may
+// run ahead of the slowest worker.  Bounds every ring's occupancy at exactly
+// analysis::ChannelBounds::pipelined(e, kPipelineWindow, batch), which is
+// how the executor sizes each ring; small values lose pipelining slack,
+// large values cost memory.  Public so tools and tests can reproduce the
+// ring bound.
 inline constexpr int kPipelineWindow = 4;
 
 // Why a ThreadedExecutor fell back to the embedded sequential Executor.
@@ -104,10 +113,11 @@ struct ThreadedReport {
   std::string fallback_reason;  // human-readable detail; empty when threaded
   std::vector<int> owner;       // actor index -> worker id
   int ring_edges{0};            // edges migrated to SPSC rings
+  int batch{1};                 // steady iterations per pipeline step
   double predicted_speedup{0};  // machine-model estimate for this placement
 
-  // One-line summary: "threaded threads=4 ring-edges=3 speedup=2.71" or
-  // "sequential fallback=teleport-handlers (filter 'F' has teleport
+  // One-line summary: "threaded threads=4 ring-edges=3 batch=8 speedup=2.71"
+  // or "sequential fallback=teleport-handlers (filter 'F' has teleport
   // handlers)".
   [[nodiscard]] std::string to_string() const;
 };
@@ -152,10 +162,11 @@ class ThreadedExecutor {
 
   // The static per-edge occupancy bounds the executor sized its storage
   // from (analysis::channel_bounds over the compiled schedule).  Rings are
-  // sized to bounds().pipelined(e, kPipelineWindow); intra-worker channels
-  // never exceed bounds().channel_bound(e).  Empty-graph defaults when the
-  // executor fell back to the sequential path (use the embedded executor's
-  // metrics instead).
+  // sized to bounds().pipelined(e, kPipelineWindow, report().batch);
+  // intra-worker channels never exceed
+  // bounds().channel_bound(e, report().batch).  Empty-graph defaults when
+  // the executor fell back to the sequential path (use the embedded
+  // executor's metrics instead).
   [[nodiscard]] const analysis::ChannelBounds& bounds() const {
     return bounds_;
   }
@@ -181,10 +192,15 @@ class ThreadedExecutor {
   void run_epoch(const std::vector<std::int64_t>& quota);
   void ensure_input_for(std::int64_t items_needed);
   void partition_and_migrate();
+  // Resolve the batch factor for this placement: explicit requests clamp to
+  // the static max_batch; auto sizes from cross-edge traffic, measured cost,
+  // and a ring-memory cap.
+  int resolve_partition_batch(const std::vector<double>& cost) const;
   void run_threaded(int iters);
   void worker(int w, std::int64_t first, std::int64_t last) noexcept;
-  void wait_ready(int actor, obs::ThreadBuffer* tb, std::int64_t* wait_ns);
-  void stage_input(std::int64_t iter);
+  void wait_ready(int actor, std::int64_t chunk, obs::ThreadBuffer* tb,
+                  std::int64_t* wait_ns);
+  void stage_input(std::int64_t last_iter, std::int64_t chunk);
   std::int64_t min_completed() const;
   void check_bounds() const;  // throws if occupancy exceeded a static bound
 
@@ -227,6 +243,8 @@ class ThreadedExecutor {
   // Frozen after the calibration steady state.
   bool partitioned_{false};
   int threads_{1};
+  int batch_{1};                 // steady iterations per pipeline step
+  std::int64_t steps_run_{0};    // pipeline steps completed across run_* calls
   std::vector<int> owner_;                // actor -> worker
   std::vector<std::vector<int>> plan_;    // worker -> actors, global topo order
   int input_owner_{-1};

@@ -14,11 +14,6 @@
 #include "parallel/transforms.h"
 #include "sched/exec.h"
 
-// This file deliberately exercises the deprecated whole-program shims
-// (linear::optimize / parallel::prepare_threaded) alongside the pass
-// pipeline that replaced them.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace sit {
 namespace {
 
@@ -59,7 +54,7 @@ class OptimizePreservesP : public ::testing::TestWithParam<const char*> {};
 TEST_P(OptimizePreservesP, OptimizedAppComputesSameStream) {
   const auto app = observable(apps::make_app(GetParam()));
   linear::OptimizeStats stats;
-  const auto opt = linear::optimize(app, {}, &stats);
+  const auto opt = linear::optimize_selection(app, {}, &stats);
   EXPECT_LE(stats.cost_after, stats.cost_before * 1.0001) << stats.log();
   expect_equiv(app, opt, 60);
 }
@@ -99,7 +94,7 @@ TEST(Integration, OptimizeThenParallelizeIsStillCorrect) {
   // The paper's full compiler: linear optimization first (fewer, denser
   // actors), then coarse-grained data parallelism, then mapping.
   const auto app = observable(apps::make_app("RateConvert"));
-  const auto opt = linear::optimize(app, {});
+  const auto opt = linear::optimize_selection(app, {});
   const auto par = parallel::data_parallelize(opt, 4);
   expect_equiv(app, par, 60);
 }
@@ -107,8 +102,8 @@ TEST(Integration, OptimizeThenParallelizeIsStillCorrect) {
 TEST(Integration, OptimizationIsIdempotent) {
   const auto app = observable(apps::make_app("Oversampler"));
   linear::OptimizeStats s1, s2;
-  const auto once = linear::optimize(app, {}, &s1);
-  const auto twice = linear::optimize(once, {}, &s2);
+  const auto once = linear::optimize_selection(app, {}, &s1);
+  const auto twice = linear::optimize_selection(once, {}, &s2);
   EXPECT_NEAR(s2.cost_after, s1.cost_after, 1e-6 * (1.0 + s1.cost_after));
   expect_equiv(once, twice, 40);
 }
@@ -118,7 +113,7 @@ TEST(Integration, OptimizedGraphMapsAtLeastAsWell) {
   // mapped throughput, since the combined filter is stateless and fissable.
   machine::MachineConfig cfg;
   const auto app = apps::make_app("FilterBank");
-  const auto opt = linear::optimize(app, {});
+  const auto opt = linear::optimize_selection(app, {});
   const auto before =
       parallel::run_strategy(app, parallel::Strategy::TaskDataSwp, cfg);
   const auto after =

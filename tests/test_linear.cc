@@ -476,7 +476,7 @@ TEST(Optimize, CollapsesPipelineOfFirs) {
   OptimizeStats stats;
   OptimizeOptions opts;
   opts.enable_frequency = false;
-  auto q = optimize(p, opts, &stats);
+  auto q = optimize_selection(p, opts, &stats);
   EXPECT_EQ(stats.linear_filters, 2);
   EXPECT_GE(stats.combinations, 1);
   EXPECT_LE(stats.cost_after, stats.cost_before + 1e-9);
@@ -489,7 +489,7 @@ TEST(Optimize, TranslatesLongFirToFrequency) {
   for (std::size_t i = 0; i < h.size(); ++i) h[i] = 1.0 / (1.0 + static_cast<double>(i));
   auto p = make_pipeline("p", {fir_node("long", h)});
   OptimizeStats stats;
-  auto q = optimize(p, {}, &stats);
+  auto q = optimize_selection(p, {}, &stats);
   EXPECT_EQ(stats.frequency_nodes, 1);
   EXPECT_LT(stats.cost_after, stats.cost_before);
   expect_same_stream(p, q, 200, 1e-7);
@@ -499,7 +499,7 @@ TEST(Optimize, LeavesNonlinearAlone) {
   auto sq = filter("sq").rates(1, 1, 1).work(seq({push_(peek_(0) * peek_(0)), discard(1)})).node();
   auto p = make_pipeline("p", {sq});
   OptimizeStats stats;
-  auto q = optimize(p, {}, &stats);
+  auto q = optimize_selection(p, {}, &stats);
   EXPECT_EQ(stats.linear_filters, 0);
   EXPECT_EQ(stats.combinations, 0);
   expect_same_stream(p, q, 20);
@@ -514,7 +514,7 @@ TEST(Optimize, MixedPipelineCollapsesOnlyLinearRun) {
   OptimizeStats stats;
   OptimizeOptions opts;
   opts.enable_frequency = false;
-  auto q = optimize(p, opts, &stats);
+  auto q = optimize_selection(p, opts, &stats);
   EXPECT_EQ(stats.linear_filters, 4);
   // f1+f2 collapse, sq survives, f3+f4 collapse -> 3 filters.
   EXPECT_EQ(count_filters(q), 3);

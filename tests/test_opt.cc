@@ -59,14 +59,14 @@ TEST(PassRegistry, AllBuiltinsRegistered) {
   for (const char* name :
        {"validate", "analysis-gate", "verify", "const-fold", "linear-extract",
         "linear-combine", "frequency", "selective-fuse", "fission",
-        "threaded-prep"}) {
+        "threaded-prep", "coarsen"}) {
     Pass* p = pm.find(name);
     ASSERT_NE(p, nullptr) << name;
     EXPECT_STREQ(p->name(), name);
     EXPECT_NE(std::string(p->description()), "");
   }
   EXPECT_EQ(pm.find("nonsense"), nullptr);
-  EXPECT_EQ(pm.pass_names().size(), 10u);
+  EXPECT_EQ(pm.pass_names().size(), 11u);
 }
 
 TEST(PassRegistry, LaterRegistrationShadows) {
@@ -123,6 +123,7 @@ TEST(Presets, LevelsNest) {
   // Mapping passes never appear in presets (engine interchangeability).
   for (const auto& n : o2) {
     EXPECT_NE(n, "threaded-prep");
+    EXPECT_NE(n, "coarsen");
     EXPECT_NE(n, "fission");
     EXPECT_NE(n, "selective-fuse");
   }

@@ -24,13 +24,9 @@
 #include "ir/dsl.h"
 #include "parallel/transforms.h"
 #include "runtime/spsc.h"
+#include "sched/envopts.h"
 #include "sched/exec.h"
 #include "sched/texec.h"
-
-// This file deliberately exercises the deprecated whole-program shims
-// (linear::optimize / parallel::prepare_threaded) alongside the pass
-// pipeline that replaced them.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace sit {
 namespace {
@@ -99,14 +95,19 @@ void expect_same_counts(const OpCounts& a, const OpCounts& b,
 
 // Run the same graph under the sequential Executor and a ThreadedExecutor
 // (two run_steady calls, so the threaded path is re-entered after the first
-// calibration + partition) and hold every observable equal.
+// calibration + partition) and hold every observable equal.  `batch` is the
+// iteration-batching factor: 0 defers to SIT_BATCH, -1 forces the auto
+// heuristic, >= 1 is explicit.
 void expect_matches(const std::string& what,
                     const std::function<ir::NodeP()>& make, int threads,
-                    const std::function<double(std::int64_t)>& gen = {}) {
-  SCOPED_TRACE(what + " @" + std::to_string(threads) + " threads");
+                    const std::function<double(std::int64_t)>& gen = {},
+                    int batch = 0) {
+  SCOPED_TRACE(what + " @" + std::to_string(threads) + " threads batch=" +
+               std::to_string(batch));
   sched::Executor seq(make(), {});
   sched::ExecOptions topt;
   topt.threads = threads;
+  topt.batch = batch;
   sched::ThreadedExecutor tex(make(), topt);
   if (gen) {
     seq.set_input_generator(gen);
@@ -153,7 +154,7 @@ TEST(TexecDifferential, PreparedAppsRunThreaded) {
   for (const std::string name : {"FIR", "FilterBank", "FMRadio"}) {
     SCOPED_TRACE(name);
     const auto make = [&] {
-      return parallel::prepare_threaded(apps::make_app(name), 4);
+      return parallel::coarsen_for_threads(apps::make_app(name), 4);
     };
     sched::ExecOptions topt;
     topt.threads = 4;
@@ -322,7 +323,7 @@ TEST(TexecReport, PartitionCoversEveryActor) {
   sched::ExecOptions topt;
   topt.threads = 4;
   sched::ThreadedExecutor tex(
-      parallel::prepare_threaded(apps::make_filter_bank(), 4), topt);
+      parallel::coarsen_for_threads(apps::make_filter_bank(), 4), topt);
   tex.run_steady(2);
   const auto& rep = tex.report();
   ASSERT_TRUE(rep.threaded);
@@ -332,6 +333,81 @@ TEST(TexecReport, PartitionCoversEveryActor) {
     EXPECT_LT(o, rep.threads);
   }
   EXPECT_GT(rep.predicted_speedup, 0.0);
+}
+
+// ---- iteration batching -----------------------------------------------------
+
+// The differential harness across batch factors: unbatched (1), the auto
+// heuristic (-1), and one explicit multi-iteration chunk whose size is
+// coprime to the run_steady(3)/run_steady(2) call pattern so remainder
+// chunks are exercised.
+TEST(TexecBatch, DifferentialAcrossBatchFactors) {
+  for (const std::string name : {"FIR", "FilterBank", "FMRadio"}) {
+    const auto make = [&] {
+      return parallel::coarsen_for_threads(apps::make_app(name), 4);
+    };
+    for (int batch : {1, -1, 3}) {
+      expect_matches(name + "/batched", make, 4, {}, batch);
+    }
+  }
+  for (std::uint32_t seed = 1; seed <= 4; ++seed) {
+    for (int batch : {1, -1, 3}) {
+      expect_matches("rand" + std::to_string(seed) + "/batched",
+                     [&] { return random_graph(seed); }, 4, {}, batch);
+    }
+  }
+}
+
+TEST(TexecBatch, ReportsResolvedBatchFactor) {
+  const auto make = [] {
+    return parallel::coarsen_for_threads(apps::make_filter_bank(), 4);
+  };
+  {
+    sched::ExecOptions topt;
+    topt.threads = 4;
+    topt.batch = 1;
+    sched::ThreadedExecutor tex(make(), topt);
+    tex.run_steady(4);
+    ASSERT_TRUE(tex.report().threaded) << tex.report().fallback_reason;
+    EXPECT_EQ(tex.report().batch, 1);
+  }
+  {
+    // An explicit request is honored up to the graph's admissible maximum.
+    sched::ExecOptions topt;
+    topt.threads = 4;
+    topt.batch = 6;
+    sched::ThreadedExecutor tex(make(), topt);
+    tex.run_steady(4);
+    ASSERT_TRUE(tex.report().threaded) << tex.report().fallback_reason;
+    EXPECT_GE(tex.report().batch, 1);
+    EXPECT_LE(tex.report().batch, 6);
+  }
+  {
+    // Auto resolves to a concrete factor >= 1 at partition time.
+    sched::ExecOptions topt;
+    topt.threads = 4;
+    topt.batch = -1;
+    sched::ThreadedExecutor tex(make(), topt);
+    tex.run_steady(4);
+    ASSERT_TRUE(tex.report().threaded) << tex.report().fallback_reason;
+    EXPECT_GE(tex.report().batch, 1);
+  }
+}
+
+TEST(TexecBatch, EnvResolution) {
+  ASSERT_EQ(setenv("SIT_BATCH", "auto", 1), 0);
+  EXPECT_EQ(env_batch(), -1);
+  EXPECT_EQ(sched::resolve_batch(0), -1);
+  ASSERT_EQ(setenv("SIT_BATCH", "7", 1), 0);
+  EXPECT_EQ(env_batch(), 7);
+  EXPECT_EQ(sched::resolve_batch(0), 7);    // 0 defers to the environment
+  EXPECT_EQ(sched::resolve_batch(2), 2);    // explicit option wins
+  EXPECT_EQ(sched::resolve_batch(-5), -1);  // any negative requests auto
+  ASSERT_EQ(setenv("SIT_BATCH", "0", 1), 0);
+  EXPECT_EQ(env_batch(), 1);         // floor at 1
+  ASSERT_EQ(unsetenv("SIT_BATCH"), 0);
+  EXPECT_EQ(env_batch(), -1);        // default: auto
+  EXPECT_EQ(sched::resolve_batch(3), 3);
 }
 
 // ---- the SPSC ring itself ---------------------------------------------------
@@ -425,6 +501,95 @@ TEST(SpscRing, ConcurrentCoprimeStress) {
   EXPECT_TRUE(ok) << "ring delivered a wrong or reordered item";
   EXPECT_EQ(r.total_pushed(), kItems);
   EXPECT_EQ(r.total_popped(), kItems);
+  EXPECT_FALSE(r.can_pop(1));
+  EXPECT_LE(r.high_water(), r.capacity());
+}
+
+// Deferred mode batches ring publication: pushes and pops stay private to
+// their side until an explicit publish, and each publish costs exactly one
+// release store -- pinned via the cumulative publish counters.
+TEST(SpscRing, DeferredBatchPublicationCounters) {
+  SpscRing r(64, /*deferred=*/true);
+  ASSERT_TRUE(r.deferred());
+  EXPECT_EQ(r.tail_publishes(), 0);
+  EXPECT_EQ(r.head_publishes(), 0);
+
+  // A batch of 10 pushes is one release store, made at publish time.
+  for (int i = 0; i < 10; ++i) r.push_item(static_cast<double>(i));
+  EXPECT_EQ(r.tail_publishes(), 0);
+  EXPECT_EQ(r.size(), 0u);  // nothing visible yet
+  r.publish_tail();
+  EXPECT_EQ(r.tail_publishes(), 1);
+  EXPECT_EQ(r.size(), 10u);
+  r.publish_tail();  // nothing new: no store
+  EXPECT_EQ(r.tail_publishes(), 1);
+
+  // Symmetric on the consumer side.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(same_bits(r.pop_item(), static_cast<double>(i)));
+  }
+  EXPECT_EQ(r.head_publishes(), 0);
+  EXPECT_EQ(r.total_popped(), 0);  // quiescent counters track publishes
+  r.publish_head();
+  EXPECT_EQ(r.head_publishes(), 1);
+  EXPECT_EQ(r.total_popped(), 10);
+  r.publish_head();
+  EXPECT_EQ(r.head_publishes(), 1);
+
+  // Immediate mode (the default) publishes inside every push and once per
+  // pop_many call, as before.
+  SpscRing eager(64);
+  EXPECT_FALSE(eager.deferred());
+  for (int i = 0; i < 5; ++i) eager.push_item(static_cast<double>(i));
+  EXPECT_EQ(eager.tail_publishes(), 5);
+  eager.pop_many(3);
+  EXPECT_EQ(eager.head_publishes(), 1);
+  eager.pop_item();
+  EXPECT_EQ(eager.head_publishes(), 2);
+}
+
+// Two real threads drive a deferred ring with coprime batch sizes: the
+// producer publishes once per 7-item batch, the consumer once per 11-item
+// batch, through a capacity small enough to wrap thousands of times.  The
+// consumer checks the exact item sequence; the publish counters afterwards
+// pin one release store per batch.  (Run under the TSan CI job, this is the
+// data-race probe for the bulk-publication protocol.)
+TEST(SpscRing, ConcurrentDeferredBatchStress) {
+  SpscRing r(64, /*deferred=*/true);
+  constexpr std::int64_t kItems = 110000;
+  std::thread producer([&] {
+    std::int64_t sent = 0;
+    while (sent < kItems) {
+      const std::int64_t burst = std::min<std::int64_t>(7, kItems - sent);
+      while (!r.can_push(static_cast<std::size_t>(burst))) {
+        std::this_thread::yield();
+      }
+      for (std::int64_t i = 0; i < burst; ++i) {
+        r.push_item(static_cast<double>(sent++));
+      }
+      r.publish_tail();
+    }
+  });
+  std::int64_t got = 0;
+  bool ok = true;
+  while (got < kItems) {
+    const std::int64_t burst = std::min<std::int64_t>(11, kItems - got);
+    while (!r.can_pop(static_cast<std::size_t>(burst))) {
+      std::this_thread::yield();
+    }
+    ok = ok && same_bits(r.peek_item(static_cast<int>(burst - 1)),
+                         static_cast<double>(got + burst - 1));
+    for (std::int64_t i = 0; i < burst; ++i) {
+      ok = ok && same_bits(r.pop_item(), static_cast<double>(got++));
+    }
+    r.publish_head();
+  }
+  producer.join();
+  EXPECT_TRUE(ok) << "deferred ring delivered a wrong or reordered item";
+  EXPECT_EQ(r.total_pushed(), kItems);
+  EXPECT_EQ(r.total_popped(), kItems);
+  EXPECT_EQ(r.tail_publishes(), (kItems + 6) / 7);
+  EXPECT_EQ(r.head_publishes(), (kItems + 10) / 11);
   EXPECT_FALSE(r.can_pop(1));
   EXPECT_LE(r.high_water(), r.capacity());
 }

@@ -273,39 +273,48 @@ TEST(ChannelBounds, DominateObservedHighWaterOnAllApps) {
   for (const auto& a : apps::all_apps()) {
     for (const opt::OptLevel level :
          {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+      // Batch factors: 1 (unbatched), -1 (auto heuristic), and one explicit
+      // multi-iteration chunk.  Batching only matters on the threaded path,
+      // so the sequential run exercises batch=1 alone.
       for (const int threads : {1, 4}) {
-        opt::CompileOptions copts;
-        copts.level = level;
-        copts.exec.threads = threads;
-        sched::CompiledProgram prog;
-        try {
-          prog = opt::compile(observable(a.make()), copts);
-        } catch (const std::exception& e) {
-          FAIL() << a.name << ": " << e.what();
-        }
-        sched::ExecOptions eopts;
-        eopts.threads = threads;
-        sched::ThreadedExecutor ex(std::move(prog), eopts);
-        if (ex.graph().input_edge >= 0) {
-          ex.set_input_generator([](std::int64_t i) {
-            return static_cast<double>((i % 32) - 16) / 16.0;
-          });
-        }
-        ex.run_steady(6);
-        const obs::MetricsSnapshot m = ex.metrics_snapshot();
-        const std::string what = a.name + " level=" +
-                                 std::to_string(static_cast<int>(level)) +
-                                 " threads=" + std::to_string(threads);
-        ASSERT_FALSE(m.edges.empty()) << what;
-        for (const auto& e : m.edges) {
-          if (e.src < 0 || e.dst < 0) continue;  // unbounded boundary edges
-          ASSERT_GE(e.bound_items, 0) << what << " edge " << e.name;
-          EXPECT_LE(e.peak_items, e.bound_items) << what << " edge " << e.name;
-          // In-order single-threaded runs track exact peaks at firing
-          // boundaries; on the linear chain apps the bound is tight.
-          if (threads == 1 && is_linear_chain(a.name)) {
-            EXPECT_EQ(e.peak_items, e.bound_items)
+        for (const int batch : {1, -1, 4}) {
+          if (threads == 1 && batch != 1) continue;
+          opt::CompileOptions copts;
+          copts.level = level;
+          copts.exec.threads = threads;
+          sched::CompiledProgram prog;
+          try {
+            prog = opt::compile(observable(a.make()), copts);
+          } catch (const std::exception& e) {
+            FAIL() << a.name << ": " << e.what();
+          }
+          sched::ExecOptions eopts;
+          eopts.threads = threads;
+          eopts.batch = batch;
+          sched::ThreadedExecutor ex(std::move(prog), eopts);
+          if (ex.graph().input_edge >= 0) {
+            ex.set_input_generator([](std::int64_t i) {
+              return static_cast<double>((i % 32) - 16) / 16.0;
+            });
+          }
+          ex.run_steady(6);
+          const obs::MetricsSnapshot m = ex.metrics_snapshot();
+          const std::string what = a.name + " level=" +
+                                   std::to_string(static_cast<int>(level)) +
+                                   " threads=" + std::to_string(threads) +
+                                   " batch=" + std::to_string(batch);
+          ASSERT_FALSE(m.edges.empty()) << what;
+          for (const auto& e : m.edges) {
+            if (e.src < 0 || e.dst < 0) continue;  // unbounded boundary edges
+            ASSERT_GE(e.bound_items, 0) << what << " edge " << e.name;
+            EXPECT_LE(e.peak_items, e.bound_items)
                 << what << " edge " << e.name;
+            // In-order single-threaded runs track exact peaks at firing
+            // boundaries; on the linear chain apps the bound is tight.
+            if (threads == 1 && is_linear_chain(a.name)) {
+              EXPECT_EQ(e.peak_items, e.bound_items)
+                  << what << " edge " << e.name;
+            }
           }
         }
       }
@@ -339,7 +348,17 @@ TEST(ChannelBounds, ThreadedExecutorExposesBounds) {
     EXPECT_GE(b.pipelined(e, sched::kPipelineWindow),
               b.post_init[e] + b.traffic[e]);
     EXPECT_GE(b.channel_bound(e), b.post_init[e]);
+    // The batched generalizations: pipelined(e, W, B) = L0 + (W+1)*B*T,
+    // monotone in B; the batched channel bound dominates the unbatched one.
+    for (const std::int64_t batch : {1, 3, 8}) {
+      EXPECT_EQ(b.pipelined(e, sched::kPipelineWindow, batch),
+                b.post_init[e] +
+                    (sched::kPipelineWindow + 1) * batch * b.traffic[e]);
+      EXPECT_GE(b.channel_bound(e, batch), b.channel_bound(e));
+    }
   }
+  // An admissible single-appearance program supports at least batch 1.
+  EXPECT_GE(b.max_batch, 1);
 }
 
 // ---- SIT_VERIFY resolution --------------------------------------------------

@@ -37,7 +37,8 @@ void usage(std::FILE* to) {
       to,
       "usage: streamc --app=NAME [-O0|-O1|-O2] [--passes=a,b,c] [--report]\n"
       "               [--verify-each] [--dump-after=PASS] [--engine=vm|tree]\n"
-      "               [--threads=N] [--steady=N] [--metrics=FILE] [--quiet]\n"
+      "               [--threads=N] [--batch=N|auto] [--steady=N]\n"
+      "               [--metrics=FILE] [--quiet]\n"
       "       streamc --list\n"
       "       streamc --list-passes\n");
 }
@@ -64,6 +65,7 @@ struct Args {
   std::string dump_after;
   std::string engine;  // "", "vm", "tree"
   int threads{0};      // 0 = SIT_THREADS
+  int batch{0};        // 0 = SIT_BATCH, -1 = auto, >= 1 explicit
   int steady{16};
   std::string metrics_path;
   bool report{false};
@@ -121,6 +123,14 @@ bool parse_args(int argc, char** argv, Args* a) {
     } else if (arg == "--threads") {
       if (!take()) return false;
       a->threads = std::atoi(val.c_str());
+    } else if (arg == "--batch") {
+      if (!take()) return false;
+      if (lower(val) == "auto") {
+        a->batch = -1;
+      } else {
+        a->batch = std::atoi(val.c_str());
+        if (a->batch < 1) return false;
+      }
     } else if (arg == "--steady") {
       if (!take()) return false;
       a->steady = std::atoi(val.c_str());
@@ -180,6 +190,7 @@ int main(int argc, char** argv) {
   copts.passes = args.passes;
   if (args.verify_each) copts.pass.verify_each = sit::opt::VerifyMode::Each;
   copts.exec.threads = args.threads;
+  copts.exec.batch = args.batch;
   if (args.engine == "vm") copts.exec.engine = sit::sched::Engine::Vm;
   if (args.engine == "tree") copts.exec.engine = sit::sched::Engine::Tree;
   if (!args.dump_after.empty()) {

@@ -198,14 +198,18 @@ int main(int argc, char** argv) {
       const auto& rep = tex.report();
       const double speedup = seq_rate > 0 ? rate / seq_rate : 0.0;
       speedups[b.name][t] = speedup;
+      // Sequential fallbacks never run the partitioner, so the report's
+      // predicted_speedup is an uninitialized-looking 0; a one-thread run
+      // trivially predicts 1x.
+      const double predicted = rep.threaded ? rep.predicted_speedup : 1.0;
       std::printf("%-12s %8d %14.0f %9.2f %10.2f %6d %6d\n", b.name, t, rate,
-                  speedup, rep.predicted_speedup, rep.ring_edges, rep.batch);
+                  speedup, predicted, rep.ring_edges, rep.batch);
       records.push_back(
           {std::string(b.name) + "/t" + std::to_string(t),
            {{"threads", static_cast<double>(t)},
             {"items_per_sec", rate},
             {"speedup", speedup},
-            {"predicted_speedup", rep.predicted_speedup},
+            {"predicted_speedup", predicted},
             {"threaded", rep.threaded ? 1.0 : 0.0},
             {"batch", static_cast<double>(rep.batch)},
             {"ring_edges", static_cast<double>(rep.ring_edges)}}});

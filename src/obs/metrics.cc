@@ -29,6 +29,16 @@ std::string MetricsSnapshot::to_json() const {
   o << "  \"fallback\": \"" << escape(fallback) << "\",\n";
   o << "  \"fallback_detail\": \"" << escape(fallback_detail) << "\",\n";
   o << "  \"predicted_speedup\": " << predicted_speedup << ",\n";
+  if (fused_channels >= 0) {
+    o << "  \"fused_channels\": " << fused_channels << ",\n";
+    o << "  \"fused_super\": {";
+    for (std::size_t i = 0; i < fused_super.size(); ++i) {
+      o << "\"" << escape(fused_super[i].first)
+        << "\": " << fused_super[i].second
+        << (i + 1 < fused_super.size() ? ", " : "");
+    }
+    o << "},\n";
+  }
   o << "  \"trace_events\": " << trace_events << ",\n";
   o << "  \"trace_dropped\": " << trace_dropped << ",\n";
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.h"
@@ -82,6 +83,12 @@ struct MetricsSnapshot {
   std::string fallback;         // stable ThreadedReport reason name
   std::string fallback_detail;  // human-readable detail, may be empty
   double predicted_speedup{0};
+
+  // Fused-engine statics (engine == "fused" with an active trace only):
+  // superinstruction instance counts by stable name (runtime/fused.h) and
+  // the number of internal channels lowered to trace buffers.
+  std::vector<std::pair<std::string, std::int64_t>> fused_super;
+  int fused_channels{-1};  // -1 = not running a fused trace
 
   // Compilation provenance: the pass pipeline that produced the executed
   // graph (comma-joined spec; empty when the executor was built from a raw

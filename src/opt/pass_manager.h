@@ -3,8 +3,8 @@
 //
 // The PassManager owns the built-in passes (validate, analysis-gate,
 // verify, const-fold, linear-extract, linear-combine, frequency,
-// selective-fuse, fission, threaded-prep, coarsen) and runs an ordered list
-// of them over a graph,
+// selective-fuse, fission, threaded-prep, coarsen, fuse-steady) and runs an
+// ordered list of them over a graph,
 // recording per-pass wall time and graph delta (leaf-actor count, flat edge
 // count, modeled cost per item) into the PassContext as obs::PassSnapshots.
 // Preset pipelines mirror classic -O levels:

@@ -10,12 +10,15 @@
 
 #include "analysis/analyze.h"
 #include "analysis/constprop.h"
+#include "analysis/fuse.h"
 #include "analysis/verify.h"
 #include "ir/ast.h"
 #include "ir/validate.h"
 #include "linear/extract.h"
 #include "opt/pass_manager.h"
 #include "parallel/transforms.h"
+#include "runtime/fused.h"
+#include "sched/schedule.h"
 
 namespace sit::opt {
 namespace {
@@ -277,6 +280,65 @@ class CoarsenPass final : public Pass {
   }
 };
 
+// ---- steady-state fusion ----------------------------------------------------
+
+// Report-only: decides whether the whole steady state fuses into one flat
+// bytecode trace (analysis/fuse.h + runtime/build_fused) and records the
+// outcome -- the refusal reason, or the superinstruction selection and the
+// eliminated-channel tally -- for streamc --report.  The rewrite itself
+// happens at executor construction (Engine::Fused), not on the graph: the
+// trace is an execution artifact, so the graph passes stay
+// engine-independent.
+class FuseSteadyPass final : public Pass {
+ public:
+  const char* name() const override { return "fuse-steady"; }
+  const char* description() const override {
+    return "whole-program steady-state fusion admissibility + "
+           "superinstruction selection (reporting only; no rewrite)";
+  }
+  PassResult run(const NodeP& root, PassContext& ctx) override {
+    linear::RewriteRecord rec;
+    rec.pass = "fuse-steady";
+    rec.site = "steady-state";
+    try {
+      const runtime::FlatGraph g = runtime::flatten(root);
+      const sched::Schedule s = sched::make_schedule(g);
+      const analysis::FusePlan plan = analysis::fuse_plan(g, s);
+      if (!plan.admissible) {
+        rec.note = plan.refusal;
+        ctx.rewrites.push_back(std::move(rec));
+        return {root, false};
+      }
+      std::string reason;
+      const runtime::FusedProgramP prog =
+          runtime::build_fused(g, s.order, s.reps, plan.carry, plan.traffic,
+                               &reason);
+      if (!prog) {
+        rec.note = reason;
+        ctx.rewrites.push_back(std::move(rec));
+        return {root, false};
+      }
+      rec.applied = true;
+      rec.note = std::to_string(prog->eliminated_channels) +
+                 " channel(s) lowered, " + std::to_string(prog->code.size()) +
+                 " trace instruction(s)";
+      ctx.rewrites.push_back(std::move(rec));
+      for (const auto& [sname, count] : prog->super) {
+        linear::RewriteRecord sr;
+        sr.pass = "fuse-steady";
+        sr.site = "super:" + sname;
+        sr.applied = true;
+        sr.note = std::to_string(count) + " instance(s)";
+        ctx.rewrites.push_back(std::move(sr));
+      }
+    } catch (const std::exception& e) {
+      rec.note = std::string("fusion analysis failed (") + e.what() + ")";
+      ctx.rewrites.push_back(std::move(rec));
+    }
+    return {root, false};
+  }
+};
+
 }  // namespace
 
 namespace detail {
@@ -293,6 +355,7 @@ void register_builtins(PassManager& pm) {
   pm.register_pass(std::make_unique<FissionPass>());
   pm.register_pass(std::make_unique<ThreadedPrepPass>());
   pm.register_pass(std::make_unique<CoarsenPass>());
+  pm.register_pass(std::make_unique<FuseSteadyPass>());
 }
 
 }  // namespace detail

@@ -90,6 +90,44 @@ class Channel final : public ir::InTape, public ir::OutTape {
   [[nodiscard]] std::int64_t total_pushed() const noexcept { return total_pushed_; }
   [[nodiscard]] std::int64_t total_popped() const noexcept { return total_popped_; }
 
+  // --- fused-engine bulk transfer (runtime/fused.h) -------------------------
+  // The fused steady-state trace lowers a fully-internal channel to a flat
+  // array for the duration of a run_steady call: drain_items moves the live
+  // contents out in FIFO order and restore_items moves them back at
+  // deactivation.  Neither touches the cumulative n(t)/p(t) counters -- the
+  // trace advances them in bulk via advance_counters once per iteration, so
+  // the counters stay bit-equal to a per-item execution.
+
+  // Copy all live items to dst (which must hold size() doubles) and empty the
+  // channel.  Returns the number of items moved.
+  std::size_t drain_items(double* dst) noexcept {
+    for (std::size_t i = 0; i < count_; ++i) {
+      dst[i] = buf_[(head_ + i) & mask_];
+    }
+    const std::size_t n = count_;
+    count_ = 0;
+    head_ = 0;
+    return n;
+  }
+
+  // Refill an empty channel with n items in FIFO order.
+  void restore_items(const double* src, std::size_t n) {
+    if (count_ != 0) {
+      throw std::logic_error("restore_items on a non-empty channel");
+    }
+    if (n == 0) return;
+    if (n > buf_.size()) grow(n);
+    head_ = 0;
+    std::copy_n(src, n, buf_.data());
+    count_ = n;
+  }
+
+  // Bulk-advance the cumulative counters without moving data.
+  void advance_counters(std::int64_t pushed, std::int64_t popped) noexcept {
+    total_pushed_ += pushed;
+    total_popped_ += popped;
+  }
+
   // High-water mark of live items, for buffer-requirement reporting.
   void note_high_water() noexcept { high_water_ = std::max(high_water_, count_); }
   [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }

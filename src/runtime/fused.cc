@@ -1,0 +1,1375 @@
+#include "runtime/fused.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/compile.h"
+#include "runtime/eval_ops.h"
+
+namespace sit::runtime {
+
+using ir::BinOp;
+using ir::UnOp;
+using ir::Value;
+
+namespace {
+
+// Build refusals unwind through this; build_fused catches and reports.
+struct BuildFail {
+  std::string reason;
+};
+
+[[noreturn]] void fail(std::string reason) { throw BuildFail{std::move(reason)}; }
+
+[[noreturn]] void peek_bounds_error(const std::string& name, std::int64_t off,
+                                    std::int64_t pops, std::int64_t window) {
+  throw std::runtime_error(
+      "peek out of bounds in '" + name + "': peek(" + std::to_string(off) +
+      ") after " + std::to_string(pops) +
+      " pop(s) exceeds the declared window of " + std::to_string(window));
+}
+
+[[noreturn]] void elem_bounds_error(const char* what, const std::string& name,
+                                    std::int64_t idx) {
+  throw std::runtime_error(std::string(what) + ": " + name + "[" +
+                           std::to_string(idx) + "]");
+}
+
+[[noreturn]] void buffer_peek_error(std::int64_t off, std::size_t live) {
+  // Mirrors Channel::peek_item's message: the lowered buffer is the channel.
+  throw std::runtime_error("peek(" + std::to_string(off) +
+                           ") beyond channel contents (" +
+                           std::to_string(live) + ")");
+}
+
+// ---- builder ----------------------------------------------------------------
+
+class TraceBuilder {
+ public:
+  TraceBuilder(const FlatGraph& g, const std::vector<int>& order,
+               const std::vector<std::int64_t>& reps,
+               const std::vector<std::int64_t>& carry,
+               const std::vector<std::int64_t>& traffic,
+               const FusedBuildOptions& opts)
+      : g_(g), order_(order), reps_(reps), carry_(carry), traffic_(traffic),
+        opts_(opts) {}
+
+  FusedProgramP build() {
+    auto P = std::make_shared<FusedProgram>();
+    prog_ = P.get();
+    prog_->graph = &g_;
+    prog_->order = order_;
+    prog_->reps = reps_;
+
+    prog_->edges.resize(g_.edges.size());
+    for (std::size_t e = 0; e < g_.edges.size(); ++e) {
+      FusedEdgeMeta& m = prog_->edges[e];
+      m.internal = g_.edges[e].src >= 0 && g_.edges[e].dst >= 0;
+      if (m.internal) {
+        if (e >= carry_.size() || carry_[e] < 0 || traffic_[e] < 0) {
+          fail("internal edge without carry/traffic sizing");
+        }
+        m.carry = carry_[e];
+        m.traffic = traffic_[e];
+        ++prog_->eliminated_channels;
+      }
+    }
+
+    layout_actors();
+    for (const int actor : order_) emit_actor(actor);
+    prog_->code.push_back(FInstr{});  // Halt
+
+    count_super();
+    return P;
+  }
+
+ private:
+  // Compile every AST filter once and assign each actor its slice of the
+  // flat register / scalar-slot / array-slot files.
+  void layout_actors() {
+    const std::size_t n = g_.actors.size();
+    if (n > 0xFFFF) fail("actor-id overflow");
+    prog_->actors.resize(n);
+    compiled_.resize(n);
+    std::size_t reg_base = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlatActor& a = g_.actors[i];
+      FusedActorMeta& meta = prog_->actors[i];
+      meta.name = a.name;
+      meta.reg_base = static_cast<std::uint32_t>(reg_base);
+      meta.scalar_base = static_cast<std::uint32_t>(prog_->scalar_names.size());
+      meta.array_base = static_cast<std::uint32_t>(prog_->array_names.size());
+      switch (a.kind) {
+        case FlatActor::Kind::Filter: {
+          std::string why;
+          compiled_[i] = compile_filter(a.node->filter, &why);
+          if (!compiled_[i]) {
+            fail("vm-fallback:" + a.name + " (" + why + ")");
+          }
+          const CompiledFilter& cf = *compiled_[i];
+          if (!cf.work.sends.empty() || !cf.init.sends.empty()) {
+            fail("teleport-send:" + a.name);
+          }
+          meta.reg_init = cf.work.reg_init;
+          meta.peek_window = cf.peek_window;
+          for (const auto& s : cf.scalar_slots) prog_->scalar_names.push_back(s);
+          for (const auto& s : cf.array_slots) prog_->array_names.push_back(s);
+          meta.num_scalars = static_cast<std::uint32_t>(cf.scalar_slots.size());
+          meta.num_arrays = static_cast<std::uint32_t>(cf.array_slots.size());
+          reg_base += cf.work.reg_init.size();
+          break;
+        }
+        case FlatActor::Kind::Native:
+          meta.native = true;
+          break;
+        case FlatActor::Kind::Splitter:
+        case FlatActor::Kind::Joiner:
+          // One scratch register (holds the item in flight).
+          meta.reg_init.emplace_back();
+          reg_base += 1;
+          break;
+      }
+      if (reg_base > 0xFFFF) fail("register-file-overflow");
+    }
+    prog_->num_regs = reg_base;
+    if (prog_->scalar_names.size() > 0xFFFF ||
+        prog_->array_names.size() > 0xFFFF) {
+      fail("state-slot overflow");
+    }
+  }
+
+  void emit_actor(int actor) {
+    const auto ai = static_cast<std::size_t>(actor);
+    const FlatActor& a = g_.actors[ai];
+    FInstr set{};
+    set.op = FOp::SetActor;
+    set.a = static_cast<std::uint16_t>(actor);
+    prog_->code.push_back(set);
+
+    switch (a.kind) {
+      case FlatActor::Kind::Filter: {
+        std::vector<FInstr> tmpl = translate_filter(actor);
+        if (opts_.superinstructions) peephole(tmpl);
+        for (std::int64_t r = 0; r < reps_[ai]; ++r) {
+          FInstr reset{};
+          reset.op = FOp::ResetRegs;
+          reset.a = static_cast<std::uint16_t>(actor);
+          prog_->code.push_back(reset);
+          append_template(tmpl);
+        }
+        break;
+      }
+      case FlatActor::Kind::Native: {
+        NativeFireArgs nf;
+        nf.actor = actor;
+        nf.in_edge = a.in_edges.empty() ? -1 : a.in_edges[0];
+        nf.out_edge = a.out_edges.empty() ? -1 : a.out_edges[0];
+        nf.in_real = nf.in_edge >= 0 && !edge_internal(nf.in_edge);
+        nf.out_real = nf.out_edge >= 0 && !edge_internal(nf.out_edge);
+        nf.flops = static_cast<std::int64_t>(a.node->native.cost_flops);
+        nf.int_ops = static_cast<std::int64_t>(a.node->native.cost_ops -
+                                               a.node->native.cost_flops);
+        nf.channel = a.pop_rate() + a.push_rate();
+        if (prog_->nats.size() >= 0xFFFF) fail("args-table overflow");
+        FInstr I{};
+        I.op = FOp::NativeFire;
+        I.a = static_cast<std::uint16_t>(prog_->nats.size());
+        prog_->nats.push_back(nf);
+        for (std::int64_t r = 0; r < reps_[ai]; ++r) prog_->code.push_back(I);
+        break;
+      }
+      case FlatActor::Kind::Splitter:
+      case FlatActor::Kind::Joiner:
+        for (std::int64_t r = 0; r < reps_[ai]; ++r) emit_sj_firing(actor);
+        break;
+    }
+  }
+
+  [[nodiscard]] bool edge_internal(int e) const {
+    return prog_->edges[static_cast<std::size_t>(e)].internal;
+  }
+
+  // ---- filter template translation ------------------------------------------
+
+  // Lower the compiled per-actor bytecode into trace form: registers and
+  // state slots rebased, channel ops bound to this actor's edges.  Jumps stay
+  // template-relative (an index == template length means "fall off the end",
+  // where the VM's Halt sat).
+  std::vector<FInstr> translate_filter(int actor) {
+    const auto ai = static_cast<std::size_t>(actor);
+    const FlatActor& a = g_.actors[ai];
+    const FusedActorMeta& meta = prog_->actors[ai];
+    const CompiledProgram& w = compiled_[ai]->work;
+    const int in_e = a.in_edges.empty() ? -1 : a.in_edges[0];
+    const int out_e = a.out_edges.empty() ? -1 : a.out_edges[0];
+
+    const auto reg = [&](std::uint16_t r) {
+      return static_cast<std::uint16_t>(meta.reg_base + r);
+    };
+    std::vector<FInstr> t;
+    t.reserve(w.code.size());
+    for (const VmInstr& V : w.code) {
+      if (V.op == VmOp::Halt) break;  // exactly one, at the end
+      FInstr I{};
+      I.sub = V.sub;
+      I.count = V.count;
+      I.dst = V.dst;
+      I.a = V.a;
+      I.b = V.b;
+      I.jump = V.jump;
+      switch (V.op) {
+        case VmOp::Move: I.op = FOp::Move; I.dst = reg(V.dst); I.a = reg(V.a); break;
+        case VmOp::LoadScalar:
+          I.op = FOp::LoadScalar;
+          I.dst = reg(V.dst);
+          I.a = static_cast<std::uint16_t>(meta.scalar_base + V.a);
+          break;
+        case VmOp::StoreScalar:
+          I.op = FOp::StoreScalar;
+          I.dst = reg(V.dst);
+          I.a = static_cast<std::uint16_t>(meta.scalar_base + V.a);
+          break;
+        case VmOp::LoadElem:
+          I.op = FOp::LoadElem;
+          I.dst = reg(V.dst);
+          I.a = static_cast<std::uint16_t>(meta.array_base + V.a);
+          I.b = reg(V.b);
+          break;
+        case VmOp::StoreElem:
+          I.op = FOp::StoreElem;
+          I.dst = reg(V.dst);
+          I.a = static_cast<std::uint16_t>(meta.array_base + V.a);
+          I.b = reg(V.b);
+          break;
+        case VmOp::Peek:
+          if (in_e < 0) fail("peek without an input edge in '" + a.name + "'");
+          I.op = edge_internal(in_e) ? FOp::TPeek : FOp::RPeek;
+          I.dst = reg(V.dst);
+          I.a = reg(V.a);
+          I.edge = in_e;
+          break;
+        case VmOp::Pop:
+          if (in_e < 0) fail("pop without an input edge in '" + a.name + "'");
+          I.op = edge_internal(in_e) ? FOp::TPop : FOp::RPop;
+          I.dst = reg(V.dst);
+          I.edge = in_e;
+          break;
+        case VmOp::PopN:
+          if (in_e < 0) fail("pop without an input edge in '" + a.name + "'");
+          I.op = edge_internal(in_e) ? FOp::TPopN : FOp::RPopN;
+          I.a = reg(V.a);
+          I.edge = in_e;
+          break;
+        case VmOp::Push:
+          if (out_e < 0) fail("push without an output edge in '" + a.name + "'");
+          I.op = edge_internal(out_e) ? FOp::TPush : FOp::RPush;
+          I.dst = reg(V.dst);
+          I.edge = out_e;
+          break;
+        case VmOp::Bin: I.op = FOp::Bin; I.dst = reg(V.dst); I.a = reg(V.a); I.b = reg(V.b); break;
+        case VmOp::Un: I.op = FOp::Un; I.dst = reg(V.dst); I.a = reg(V.a); break;
+        case VmOp::Truthy: I.op = FOp::Truthy; I.dst = reg(V.dst); I.a = reg(V.a); break;
+        case VmOp::Jmp: I.op = FOp::Jmp; break;
+        case VmOp::JmpIfFalse: I.op = FOp::JmpIfFalse; I.a = reg(V.a); break;
+        case VmOp::JmpIfTrue: I.op = FOp::JmpIfTrue; I.a = reg(V.a); break;
+        case VmOp::JmpIfGe: I.op = FOp::JmpIfGe; I.a = reg(V.a); I.b = reg(V.b); break;
+        case VmOp::CheckStep: I.op = FOp::CheckStep; I.a = reg(V.a); break;
+        case VmOp::ForInc: I.op = FOp::ForInc; I.dst = reg(V.dst); I.a = reg(V.a); break;
+        case VmOp::Tally: I.op = FOp::Tally; break;
+        case VmOp::Send: fail("teleport-send:" + a.name);
+        case VmOp::Halt: break;  // unreachable
+      }
+      t.push_back(I);
+    }
+    return t;
+  }
+
+  // Append a (peepholed) template to the trace, relocating jumps.
+  void append_template(const std::vector<FInstr>& tmpl) {
+    const auto base = static_cast<std::int32_t>(prog_->code.size());
+    for (const FInstr& I : tmpl) {
+      prog_->code.push_back(I);
+      if (I.jump >= 0) prog_->code.back().jump = base + I.jump;
+    }
+  }
+
+  // ---- superinstruction selection -------------------------------------------
+
+  // No instruction outside [start, start+len) may jump strictly inside it
+  // (jumps *at* start land on the superinstruction, which re-enters the
+  // pattern at its entry point -- safe).
+  static bool region_clear(const std::vector<FInstr>& t, std::size_t start,
+                           std::size_t len) {
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      const std::int32_t tgt = t[j].jump;
+      if (tgt > static_cast<std::int32_t>(start) &&
+          tgt < static_cast<std::int32_t>(start + len)) {
+        if (j < start || j >= start + len) return false;
+      }
+    }
+    return true;
+  }
+
+  static bool all_distinct(std::initializer_list<std::uint16_t> regs) {
+    for (auto i = regs.begin(); i != regs.end(); ++i) {
+      for (auto j = i + 1; j != regs.end(); ++j) {
+        if (*i == *j) return false;
+      }
+    }
+    return true;
+  }
+
+  static bool is_peek(FOp op) { return op == FOp::TPeek || op == FOp::RPeek; }
+  static bool is_pop(FOp op) { return op == FOp::TPop || op == FOp::RPop; }
+  static bool is_push(FOp op) { return op == FOp::TPush || op == FOp::RPush; }
+
+  // The exact 9-instruction (array) / 7-instruction (sum) loop shape the
+  // bytecode compiler emits for `for (i) acc += peek(i) [* coef[i]]`:
+  //
+  //   i+0  jge  ri, rhi  -> end         i+0  jge  ri, rhi -> end
+  //   i+1  tally 2 (int)                i+1  tally 2 (int)
+  //   i+2  move slot, ri                i+2  move slot, ri
+  //   i+3  peek p, [slot]               i+3  peek p, [slot]
+  //   i+4  ld.e q, arr[slot]            i+4  bin add acc, acc, p
+  //   i+5  bin mul m, p, q              i+5  forinc ri, rstep
+  //   i+6  bin add acc, acc, m          i+6  jmp -> i
+  //   i+7  forinc ri, rstep
+  //   i+8  jmp -> i
+  bool match_mac(const std::vector<FInstr>& t, std::size_t i,
+                 MacLoopArgs* out, std::size_t* len) const {
+    const FInstr& I0 = t[i];
+    if (I0.op != FOp::JmpIfGe) return false;
+    const std::uint16_t ri = I0.a, rhi = I0.b;
+    for (const bool has_array : {true, false}) {
+      const std::size_t n = has_array ? 9 : 7;
+      if (i + n > t.size()) continue;
+      if (I0.jump != static_cast<std::int32_t>(i + n)) continue;
+      const FInstr& tl = t[i + 1];
+      if (tl.op != FOp::Tally || tl.sub != 2 || tl.count != CountTag::IntOp) continue;
+      const FInstr& mv = t[i + 2];
+      if (mv.op != FOp::Move || mv.a != ri) continue;
+      const std::uint16_t slot = mv.dst;
+      const FInstr& pk = t[i + 3];
+      if (!is_peek(pk.op) || pk.a != slot) continue;
+      const std::uint16_t p = pk.dst;
+      MacLoopArgs M;
+      M.ri = ri;
+      M.rhi = rhi;
+      M.slot = slot;
+      M.p = p;
+      M.edge = pk.edge;
+      M.real = pk.op == FOp::RPeek;
+      M.has_array = has_array;
+      std::size_t k = i + 4;
+      if (has_array) {
+        const FInstr& ld = t[k];
+        if (ld.op != FOp::LoadElem || ld.b != slot) continue;
+        M.q = ld.dst;
+        M.arr = ld.a;
+        const FInstr& mul = t[k + 1];
+        if (mul.op != FOp::Bin || static_cast<BinOp>(mul.sub) != BinOp::Mul ||
+            mul.count != CountTag::ByResult) {
+          continue;
+        }
+        if (!((mul.a == M.p && mul.b == M.q) || (mul.a == M.q && mul.b == M.p))) {
+          continue;
+        }
+        M.m = mul.dst;
+        k += 2;
+      }
+      const FInstr& add = t[k];
+      const std::uint16_t addend = has_array ? M.m : M.p;
+      if (add.op != FOp::Bin || static_cast<BinOp>(add.sub) != BinOp::Add ||
+          add.count != CountTag::ByResult || add.dst != add.a ||
+          add.b != addend) {
+        continue;
+      }
+      M.acc = add.dst;
+      const FInstr& inc = t[k + 1];
+      if (inc.op != FOp::ForInc || inc.dst != ri) continue;
+      M.rstep = inc.a;
+      const FInstr& jb = t[k + 2];
+      if (jb.op != FOp::Jmp || jb.jump != static_cast<std::int32_t>(i)) continue;
+      const bool distinct =
+          has_array
+              ? all_distinct({M.ri, M.rhi, M.rstep, M.slot, M.p, M.q, M.m, M.acc})
+              : all_distinct({M.ri, M.rhi, M.rstep, M.slot, M.p, M.acc});
+      if (!distinct) continue;
+      if (!region_clear(t, i, n)) continue;
+      *out = M;
+      *len = n;
+      return true;
+    }
+    return false;
+  }
+
+  // pop -> [compute] -> push, with nothing in between:
+  //   [pop r][push r]                       pop-push
+  //   [pop r][un  op d, r][push d]          pop-un-push
+  //   [pop r][bin op d, a, b][push d]       pop-bin-push  (r in {a, b})
+  bool match_pcp(const std::vector<FInstr>& t, std::size_t i, PcpArgs* out,
+                 std::size_t* len) const {
+    const FInstr& I0 = t[i];
+    if (!is_pop(I0.op)) return false;
+    const std::uint16_t r = I0.dst;
+    PcpArgs P;
+    P.in_edge = I0.edge;
+    P.in_real = I0.op == FOp::RPop;
+    P.rpop = r;
+    if (i + 1 < t.size() && is_push(t[i + 1].op) && t[i + 1].dst == r) {
+      P.kind = PcpArgs::Kind::Plain;
+      P.rres = r;
+      P.out_edge = t[i + 1].edge;
+      P.out_real = t[i + 1].op == FOp::RPush;
+      if (!region_clear(t, i, 2)) return false;
+      *out = P;
+      *len = 2;
+      return true;
+    }
+    if (i + 2 >= t.size() || !is_push(t[i + 2].op)) return false;
+    const FInstr& op = t[i + 1];
+    const FInstr& ps = t[i + 2];
+    if (ps.dst != op.dst) return false;
+    if (op.op == FOp::Un && op.a == r) {
+      P.kind = PcpArgs::Kind::Un;
+    } else if (op.op == FOp::Bin && (op.a == r || op.b == r)) {
+      P.kind = PcpArgs::Kind::Bin;
+    } else {
+      return false;
+    }
+    P.sub = op.sub;
+    P.tag = op.count;
+    P.a = op.a;
+    P.b = op.b;
+    P.rres = op.dst;
+    P.out_edge = ps.edge;
+    P.out_real = ps.op == FOp::RPush;
+    if (!region_clear(t, i, 3)) return false;
+    *out = P;
+    *len = 3;
+    return true;
+  }
+
+  // Rewrite a filter template in place, replacing matched windows with
+  // superinstructions and remapping every jump through the index map.
+  void peephole(std::vector<FInstr>& t) {
+    std::vector<FInstr> out;
+    out.reserve(t.size());
+    // new_index[old] for every old position, plus the one-past-the-end slot
+    // (jump targets may point at the stripped Halt position).
+    std::vector<std::int32_t> new_index(t.size() + 1, 0);
+    std::size_t i = 0;
+    while (i < t.size()) {
+      MacLoopArgs M;
+      PcpArgs P;
+      std::size_t len = 0;
+      if (match_mac(t, i, &M, &len)) {
+        if (prog_->macs.size() >= 0xFFFF) fail("args-table overflow");
+        FInstr I{};
+        I.op = FOp::MacLoop;
+        I.a = static_cast<std::uint16_t>(prog_->macs.size());
+        prog_->macs.push_back(M);
+        for (std::size_t k = 0; k < len; ++k) {
+          new_index[i + k] = static_cast<std::int32_t>(out.size());
+        }
+        out.push_back(I);
+        i += len;
+      } else if (match_pcp(t, i, &P, &len)) {
+        if (prog_->pcps.size() >= 0xFFFF) fail("args-table overflow");
+        FInstr I{};
+        I.op = FOp::PopComputePush;
+        I.a = static_cast<std::uint16_t>(prog_->pcps.size());
+        prog_->pcps.push_back(P);
+        for (std::size_t k = 0; k < len; ++k) {
+          new_index[i + k] = static_cast<std::int32_t>(out.size());
+        }
+        out.push_back(I);
+        i += len;
+      } else {
+        new_index[i] = static_cast<std::int32_t>(out.size());
+        out.push_back(t[i]);
+        ++i;
+      }
+    }
+    new_index[t.size()] = static_cast<std::int32_t>(out.size());
+    for (FInstr& I : out) {
+      if (I.jump >= 0) I.jump = new_index[static_cast<std::size_t>(I.jump)];
+    }
+    t = std::move(out);
+  }
+
+  // ---- splitter / joiner synthesis ------------------------------------------
+
+  // One firing, with counting identical to Executor::fire: a round-robin
+  // splitter counts 2 per item even on a dangling branch; a duplicate
+  // splitter counts 1 + fan-out per firing; a joiner skips dangling inputs
+  // entirely.  Runs of identical item moves become copy-run/dup-run
+  // superinstructions and merge across adjacent firings.
+  void emit_sj_firing(int actor) {
+    const auto ai = static_cast<std::size_t>(actor);
+    const FlatActor& a = g_.actors[ai];
+    const auto reg =
+        static_cast<std::uint16_t>(prog_->actors[ai].reg_base);
+    if (a.kind == FlatActor::Kind::Splitter) {
+      const int in_e = a.in_edges.empty() ? -1 : a.in_edges[0];
+      if (in_e < 0) fail("splitter without an input edge in '" + a.name + "'");
+      if (a.sj == ir::SJKind::Duplicate) {
+        CopyRunArgs C;
+        C.src = in_e;
+        C.src_real = !edge_internal(in_e);
+        C.n = 1;
+        C.reg = reg;
+        int dangling = 0;
+        for (const int eid : a.out_edges) {
+          if (eid >= 0) {
+            C.dst.push_back(eid);
+            C.dst_real.push_back(edge_internal(eid) ? 0 : 1);
+          } else {
+            ++dangling;
+          }
+        }
+        if (opts_.superinstructions && dangling == 0 && !C.dst.empty()) {
+          append_copy(std::move(C));
+        } else {
+          emit_raw_move(in_e, reg, C.dst, /*extra_channel=*/dangling);
+        }
+      } else {
+        for (std::size_t p = 0; p < a.out_rate.size(); ++p) {
+          const int w = a.out_rate[p];
+          if (w <= 0) continue;
+          const int eid = p < a.out_edges.size() ? a.out_edges[p] : -1;
+          if (opts_.superinstructions && eid >= 0) {
+            CopyRunArgs C;
+            C.src = in_e;
+            C.src_real = !edge_internal(in_e);
+            C.dst.push_back(eid);
+            C.dst_real.push_back(edge_internal(eid) ? 0 : 1);
+            C.n = w;
+            C.reg = reg;
+            append_copy(std::move(C));
+          } else {
+            std::vector<std::int32_t> dst;
+            if (eid >= 0) dst.push_back(eid);
+            for (int k = 0; k < w; ++k) {
+              emit_raw_move(in_e, reg, dst, eid >= 0 ? 0 : 1);
+            }
+          }
+        }
+      }
+    } else {  // Joiner
+      const int out_e = a.out_edges.empty() ? -1 : a.out_edges[0];
+      if (out_e < 0) fail("joiner without an output edge in '" + a.name + "'");
+      for (std::size_t p = 0; p < a.in_rate.size(); ++p) {
+        const int w = a.in_rate[p];
+        if (w <= 0) continue;
+        const int eid = p < a.in_edges.size() ? a.in_edges[p] : -1;
+        if (eid < 0) continue;  // Executor skips dangling inputs, uncounted
+        if (opts_.superinstructions) {
+          CopyRunArgs C;
+          C.src = eid;
+          C.src_real = !edge_internal(eid);
+          C.dst.push_back(out_e);
+          C.dst_real.push_back(edge_internal(out_e) ? 0 : 1);
+          C.n = w;
+          C.reg = reg;
+          append_copy(std::move(C));
+        } else {
+          for (int k = 0; k < w; ++k) {
+            emit_raw_move(eid, reg, {out_e}, 0);
+          }
+        }
+      }
+    }
+  }
+
+  // pop src -> push each dst, plus `extra_channel` counted-but-unrouted items
+  // (a dangling splitter branch still counts its channel traffic).
+  void emit_raw_move(int src, std::uint16_t reg,
+                     const std::vector<std::int32_t>& dst, int extra_channel) {
+    FInstr pop{};
+    pop.op = edge_internal(src) ? FOp::TPop : FOp::RPop;
+    pop.count = CountTag::Channel;
+    pop.dst = reg;
+    pop.edge = src;
+    prog_->code.push_back(pop);
+    for (const std::int32_t d : dst) {
+      FInstr push{};
+      push.op = edge_internal(d) ? FOp::TPush : FOp::RPush;
+      push.count = CountTag::Channel;
+      push.dst = reg;
+      push.edge = d;
+      prog_->code.push_back(push);
+    }
+    while (extra_channel > 0) {
+      const int chunk = extra_channel > 255 ? 255 : extra_channel;
+      FInstr tally{};
+      tally.op = FOp::Tally;
+      tally.sub = static_cast<std::uint8_t>(chunk);
+      tally.count = CountTag::Channel;
+      prog_->code.push_back(tally);
+      extra_channel -= chunk;
+    }
+  }
+
+  // Append a copy-run, merging into the previous instruction when it is an
+  // identical run (adjacent firings of the same splitter/joiner port).
+  void append_copy(CopyRunArgs args) {
+    if (!prog_->code.empty() && prog_->code.back().op == FOp::CopyRun) {
+      CopyRunArgs& prev = prog_->copies[prog_->code.back().a];
+      if (prev.src == args.src && prev.src_real == args.src_real &&
+          prev.dst == args.dst && prev.dst_real == args.dst_real &&
+          prev.reg == args.reg) {
+        prev.n += args.n;
+        return;
+      }
+    }
+    if (prog_->copies.size() >= 0xFFFF) fail("args-table overflow");
+    FInstr I{};
+    I.op = FOp::CopyRun;
+    I.a = static_cast<std::uint16_t>(prog_->copies.size());
+    prog_->copies.push_back(std::move(args));
+    prog_->code.push_back(I);
+  }
+
+  void count_super() {
+    for (const FInstr& I : prog_->code) {
+      switch (I.op) {
+        case FOp::MacLoop:
+          ++prog_->super[prog_->macs[I.a].has_array ? "mac-loop" : "sum-loop"];
+          break;
+        case FOp::PopComputePush:
+          switch (prog_->pcps[I.a].kind) {
+            case PcpArgs::Kind::Plain: ++prog_->super["pop-push"]; break;
+            case PcpArgs::Kind::Bin: ++prog_->super["pop-bin-push"]; break;
+            case PcpArgs::Kind::Un: ++prog_->super["pop-un-push"]; break;
+          }
+          break;
+        case FOp::CopyRun:
+          ++prog_->super[prog_->copies[I.a].dst.size() > 1 ? "dup-run"
+                                                           : "copy-run"];
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  const FlatGraph& g_;
+  const std::vector<int>& order_;
+  const std::vector<std::int64_t>& reps_;
+  const std::vector<std::int64_t>& carry_;
+  const std::vector<std::int64_t>& traffic_;
+  FusedBuildOptions opts_;
+  FusedProgram* prog_{nullptr};
+  std::vector<CompiledFilterP> compiled_;
+};
+
+// Tape stubs for natives at the graph boundary with no edge at all.
+class NullIn final : public ir::InTape {
+ public:
+  double peek_item(int) override {
+    throw std::runtime_error("source filter attempted to peek");
+  }
+  double pop_item() override {
+    throw std::runtime_error("source filter attempted to pop");
+  }
+};
+
+class NullOut final : public ir::OutTape {
+ public:
+  void push_item(double) override {
+    throw std::runtime_error("sink filter attempted to push");
+  }
+};
+
+NullIn g_null_in;
+NullOut g_null_out;
+
+}  // namespace
+
+FusedProgramP build_fused(const FlatGraph& g, const std::vector<int>& order,
+                          const std::vector<std::int64_t>& reps,
+                          const std::vector<std::int64_t>& carry,
+                          const std::vector<std::int64_t>& traffic,
+                          std::string* reason, const FusedBuildOptions& opts) {
+  try {
+    return TraceBuilder(g, order, reps, carry, traffic, opts).build();
+  } catch (const BuildFail& f) {
+    if (reason) *reason = f.reason;
+    return nullptr;
+  }
+}
+
+// ---- execution --------------------------------------------------------------
+
+// Uncounted tape adapters over a lowered edge, for NativeFire (native filters
+// count statically, exactly like Executor::fire does for them).
+class FusedExec::BufIn final : public ir::InTape {
+ public:
+  explicit BufIn(EdgeState& s) : s_(s) {}
+  double peek_item(int offset) override {
+    if (offset < 0 ||
+        s_.rd + static_cast<std::size_t>(offset) >= s_.wr) {
+      buffer_peek_error(offset, s_.wr - s_.rd);
+    }
+    return s_.buf[s_.rd + static_cast<std::size_t>(offset)];
+  }
+  double pop_item() override {
+    if (s_.rd >= s_.wr) throw std::runtime_error("pop from empty channel");
+    return s_.buf[s_.rd++];
+  }
+  void pop_many(int n) override {
+    if (n <= 0) return;
+    if (s_.rd + static_cast<std::size_t>(n) > s_.wr) {
+      throw std::runtime_error("pop from empty channel");
+    }
+    s_.rd += static_cast<std::size_t>(n);
+  }
+
+ private:
+  EdgeState& s_;
+};
+
+class FusedExec::BufOut final : public ir::OutTape {
+ public:
+  explicit BufOut(EdgeState& s) : s_(s) {}
+  void push_item(double v) override {
+    if (s_.wr >= s_.buf.size()) {
+      throw std::logic_error("fused trace buffer overflow");
+    }
+    s_.buf[s_.wr++] = v;
+  }
+
+ private:
+  EdgeState& s_;
+};
+
+FusedExec::FusedExec(FusedProgramP prog, std::vector<FilterState>& states,
+                     const std::vector<std::unique_ptr<Channel>>& chans,
+                     const std::vector<std::unique_ptr<ir::NativeState>>& nstates)
+    : prog_(std::move(prog)) {
+  regs_.resize(prog_->num_regs);
+  scalars_.resize(prog_->scalar_names.size());
+  arrays_.resize(prog_->array_names.size());
+  for (std::size_t i = 0; i < prog_->actors.size(); ++i) {
+    const FusedActorMeta& m = prog_->actors[i];
+    FilterState& st = states[i];
+    for (std::uint32_t k = 0; k < m.num_scalars; ++k) {
+      const std::string& name = prog_->scalar_names[m.scalar_base + k];
+      auto it = st.scalars.find(name);
+      if (it == st.scalars.end()) {
+        throw std::logic_error("fused bind: state has no scalar '" + name + "'");
+      }
+      scalars_[m.scalar_base + k] = &it->second;
+    }
+    for (std::uint32_t k = 0; k < m.num_arrays; ++k) {
+      const std::string& name = prog_->array_names[m.array_base + k];
+      auto it = st.arrays.find(name);
+      if (it == st.arrays.end()) {
+        throw std::logic_error("fused bind: state has no array '" + name + "'");
+      }
+      arrays_[m.array_base + k] = &it->second;
+    }
+  }
+  chans_.reserve(chans.size());
+  for (const auto& c : chans) chans_.push_back(c.get());
+  nstates_.reserve(nstates.size());
+  for (const auto& s : nstates) nstates_.push_back(s.get());
+  ebuf_.resize(prog_->edges.size());
+  for (std::size_t e = 0; e < prog_->edges.size(); ++e) {
+    const FusedEdgeMeta& m = prog_->edges[e];
+    if (m.internal) {
+      ebuf_[e].buf.resize(static_cast<std::size_t>(m.carry + m.traffic));
+    }
+  }
+}
+
+bool FusedExec::activate() {
+  if (active_) return true;
+  for (std::size_t e = 0; e < prog_->edges.size(); ++e) {
+    const FusedEdgeMeta& m = prog_->edges[e];
+    if (m.internal &&
+        chans_[e]->size() != static_cast<std::size_t>(m.carry)) {
+      return false;  // graph is mid-iteration (manual fire); run per-actor
+    }
+  }
+  for (std::size_t e = 0; e < prog_->edges.size(); ++e) {
+    const FusedEdgeMeta& m = prog_->edges[e];
+    if (!m.internal) continue;
+    EdgeState& s = ebuf_[e];
+    chans_[e]->drain_items(s.buf.data());
+    s.rd = 0;
+    s.wr = static_cast<std::size_t>(m.carry);
+  }
+  active_ = true;
+  return true;
+}
+
+void FusedExec::deactivate() {
+  if (!active_) return;
+  for (std::size_t e = 0; e < prog_->edges.size(); ++e) {
+    const FusedEdgeMeta& m = prog_->edges[e];
+    if (!m.internal) continue;
+    EdgeState& s = ebuf_[e];
+    chans_[e]->restore_items(s.buf.data(), static_cast<std::size_t>(m.carry));
+    s.rd = s.wr = 0;
+  }
+  active_ = false;
+}
+
+void FusedExec::run_iteration(OpCounts* actor_counts) {
+  if (!active_) {
+    throw std::logic_error("FusedExec::run_iteration before activate()");
+  }
+  if (actor_counts != nullptr) {
+    run<true>(actor_counts);
+  } else {
+    run<false>(nullptr);
+  }
+  finish_iteration();
+}
+
+void FusedExec::finish_iteration() {
+  for (std::size_t e = 0; e < prog_->edges.size(); ++e) {
+    const FusedEdgeMeta& m = prog_->edges[e];
+    if (!m.internal) continue;
+    EdgeState& s = ebuf_[e];
+    const auto carry = static_cast<std::size_t>(m.carry);
+    const auto traffic = static_cast<std::size_t>(m.traffic);
+    if (s.rd != traffic || s.wr != carry + traffic) {
+      throw std::logic_error("fused trace left channel " + std::to_string(e) +
+                             " at an unexpected level");
+    }
+    if (traffic > 0 && carry > 0) {
+      std::memmove(s.buf.data(), s.buf.data() + traffic,
+                   carry * sizeof(double));
+    }
+    s.rd = 0;
+    s.wr = carry;
+    chans_[e]->advance_counters(static_cast<std::int64_t>(traffic),
+                                static_cast<std::int64_t>(traffic));
+  }
+}
+
+template <bool kCount>
+void FusedExec::run(OpCounts* actor_counts) {
+  Value* const regs = regs_.data();
+  const FInstr* const code = prog_->code.data();
+  EdgeState* const ebuf = ebuf_.data();
+  const bool debug = debug_channel_checks();
+  OpCounts* cur = nullptr;
+  const FusedActorMeta* meta = nullptr;
+  std::int64_t window = 0;
+  std::int64_t pops = 0;
+  std::int32_t pc = 0;
+
+  const auto tally = [&](CountTag tag, const Value& r) {
+    if constexpr (kCount) {
+      switch (tag) {
+        case CountTag::None: break;
+        case CountTag::IntOp: ++cur->int_ops; break;
+        case CountTag::Flop: ++cur->flops; break;
+        case CountTag::Div: ++cur->divs; break;
+        case CountTag::Trans: ++cur->trans; break;
+        case CountTag::Mem: ++cur->mem; break;
+        case CountTag::Channel: ++cur->channel; break;
+        case CountTag::ByResult:
+          r.is_int() ? ++cur->int_ops : ++cur->flops;
+          break;
+      }
+    } else {
+      (void)tag;
+      (void)r;
+    }
+  };
+
+  // Lowered-buffer channel primitives (bounds mirror Channel's).
+  const auto tpop = [&](std::int32_t e) {
+    EdgeState& s = ebuf[e];
+    if (s.rd >= s.wr) throw std::runtime_error("pop from empty channel");
+    return s.buf[s.rd++];
+  };
+  const auto tpush = [&](std::int32_t e, double v) {
+    EdgeState& s = ebuf[e];
+    if (s.wr >= s.buf.size()) {
+      throw std::logic_error("fused trace buffer overflow");
+    }
+    s.buf[s.wr++] = v;
+  };
+
+  for (;;) {
+    const FInstr& I = code[pc];
+    switch (I.op) {
+      case FOp::Move:
+        regs[I.dst] = regs[I.a];
+        ++pc;
+        break;
+      case FOp::LoadScalar:
+        if constexpr (kCount) ++cur->mem;
+        regs[I.dst] = *scalars_[I.a];
+        ++pc;
+        break;
+      case FOp::StoreScalar:
+        if constexpr (kCount) ++cur->mem;
+        *scalars_[I.a] = regs[I.dst];
+        ++pc;
+        break;
+      case FOp::LoadElem: {
+        const std::int64_t idx = regs[I.b].as_int();
+        const auto& arr = *arrays_[I.a];
+        if (idx < 0 || static_cast<std::size_t>(idx) >= arr.size()) {
+          elem_bounds_error("array index out of bounds",
+                            prog_->array_names[I.a], idx);
+        }
+        if constexpr (kCount) ++cur->mem;
+        regs[I.dst] = arr[static_cast<std::size_t>(idx)];
+        ++pc;
+        break;
+      }
+      case FOp::StoreElem: {
+        const std::int64_t idx = regs[I.b].as_int();
+        auto& arr = *arrays_[I.a];
+        if (idx < 0 || static_cast<std::size_t>(idx) >= arr.size()) {
+          elem_bounds_error("array store out of bounds",
+                            prog_->array_names[I.a], idx);
+        }
+        if constexpr (kCount) ++cur->mem;
+        arr[static_cast<std::size_t>(idx)] = regs[I.dst];
+        ++pc;
+        break;
+      }
+      case FOp::Bin: {
+        const Value r =
+            apply_bin(static_cast<BinOp>(I.sub), regs[I.a], regs[I.b]);
+        tally(I.count, r);
+        regs[I.dst] = r;
+        ++pc;
+        break;
+      }
+      case FOp::Un:
+        // Neg/Abs count by operand type, exactly as in the VM.
+        tally(I.count, regs[I.a]);
+        regs[I.dst] = apply_un(static_cast<UnOp>(I.sub), regs[I.a]);
+        ++pc;
+        break;
+      case FOp::Truthy:
+        regs[I.dst] = Value(regs[I.a].truthy());
+        ++pc;
+        break;
+      case FOp::Jmp:
+        pc = I.jump;
+        break;
+      case FOp::JmpIfFalse:
+        pc = regs[I.a].truthy() ? pc + 1 : I.jump;
+        break;
+      case FOp::JmpIfTrue:
+        pc = regs[I.a].truthy() ? I.jump : pc + 1;
+        break;
+      case FOp::JmpIfGe:
+        pc = regs[I.a].as_int() >= regs[I.b].as_int() ? I.jump : pc + 1;
+        break;
+      case FOp::CheckStep:
+        if (regs[I.a].as_int() <= 0) {
+          throw std::runtime_error("for loop step must be positive");
+        }
+        ++pc;
+        break;
+      case FOp::ForInc:
+        regs[I.dst] = Value(regs[I.dst].as_int() + regs[I.a].as_int());
+        ++pc;
+        break;
+      case FOp::Tally:
+        if constexpr (kCount) {
+          switch (I.count) {
+            case CountTag::IntOp: cur->int_ops += I.sub; break;
+            case CountTag::Channel: cur->channel += I.sub; break;
+            case CountTag::Flop: cur->flops += I.sub; break;
+            case CountTag::Div: cur->divs += I.sub; break;
+            case CountTag::Trans: cur->trans += I.sub; break;
+            case CountTag::Mem: cur->mem += I.sub; break;
+            case CountTag::None: case CountTag::ByResult: break;
+          }
+        }
+        ++pc;
+        break;
+      case FOp::RPeek: {
+        const std::int64_t off = regs[I.a].as_int();
+        if (debug && (off < 0 || pops + off >= window)) {
+          peek_bounds_error(meta->name, off, pops, window);
+        }
+        if constexpr (kCount) ++cur->channel;
+        regs[I.dst] = Value(chans_[I.edge]->peek_item(static_cast<int>(off)));
+        ++pc;
+        break;
+      }
+      case FOp::RPop:
+        if constexpr (kCount) ++cur->channel;
+        ++pops;
+        regs[I.dst] = Value(chans_[I.edge]->pop_item());
+        ++pc;
+        break;
+      case FOp::RPopN: {
+        const std::int64_t n = regs[I.a].as_int();
+        if (n > 0) {
+          if constexpr (kCount) cur->channel += n;
+          pops += n;
+          chans_[I.edge]->pop_many(static_cast<int>(n));
+        }
+        ++pc;
+        break;
+      }
+      case FOp::RPush:
+        if constexpr (kCount) ++cur->channel;
+        chans_[I.edge]->push_item(regs[I.dst].as_double());
+        ++pc;
+        break;
+      case FOp::TPeek: {
+        const std::int64_t off = regs[I.a].as_int();
+        if (debug && (off < 0 || pops + off >= window)) {
+          peek_bounds_error(meta->name, off, pops, window);
+        }
+        EdgeState& s = ebuf[I.edge];
+        if (off < 0 ||
+            s.rd + static_cast<std::size_t>(off) >= s.wr) {
+          buffer_peek_error(off, s.wr - s.rd);
+        }
+        if constexpr (kCount) ++cur->channel;
+        regs[I.dst] = Value(s.buf[s.rd + static_cast<std::size_t>(off)]);
+        ++pc;
+        break;
+      }
+      case FOp::TPop:
+        if constexpr (kCount) ++cur->channel;
+        ++pops;
+        regs[I.dst] = Value(tpop(I.edge));
+        ++pc;
+        break;
+      case FOp::TPopN: {
+        const std::int64_t n = regs[I.a].as_int();
+        if (n > 0) {
+          EdgeState& s = ebuf[I.edge];
+          if (s.rd + static_cast<std::size_t>(n) > s.wr) {
+            throw std::runtime_error("pop from empty channel");
+          }
+          if constexpr (kCount) cur->channel += n;
+          pops += n;
+          s.rd += static_cast<std::size_t>(n);
+        }
+        ++pc;
+        break;
+      }
+      case FOp::TPush:
+        if constexpr (kCount) ++cur->channel;
+        tpush(I.edge, regs[I.dst].as_double());
+        ++pc;
+        break;
+      case FOp::SetActor:
+        meta = &prog_->actors[I.a];
+        window = meta->peek_window;
+        if constexpr (kCount) cur = &actor_counts[I.a];
+        ++pc;
+        break;
+      case FOp::ResetRegs: {
+        const FusedActorMeta& m = prog_->actors[I.a];
+        std::copy(m.reg_init.begin(), m.reg_init.end(), regs + m.reg_base);
+        pops = 0;
+        ++pc;
+        break;
+      }
+      case FOp::MacLoop: {
+        const MacLoopArgs& M = prog_->macs[I.a];
+        std::int64_t i = regs[M.ri].as_int();
+        const std::int64_t hi = regs[M.rhi].as_int();
+        const std::int64_t st = regs[M.rstep].as_int();
+        if (i < hi) {
+          Value acc = regs[M.acc];
+          const std::vector<Value>* arr =
+              M.has_array ? arrays_[M.arr] : nullptr;
+          EdgeState* s = M.real ? nullptr : &ebuf[M.edge];
+          Channel* const ch = M.real ? chans_[M.edge] : nullptr;
+          for (; i < hi; i += st) {
+            if constexpr (kCount) cur->int_ops += 2;
+            if (debug && (i < 0 || pops + i >= window)) {
+              peek_bounds_error(meta->name, i, pops, window);
+            }
+            double pd;
+            if (s != nullptr) {
+              if (i < 0 || s->rd + static_cast<std::size_t>(i) >= s->wr) {
+                buffer_peek_error(i, s->wr - s->rd);
+              }
+              pd = s->buf[s->rd + static_cast<std::size_t>(i)];
+            } else {
+              pd = ch->peek_item(static_cast<int>(i));
+            }
+            if constexpr (kCount) ++cur->channel;
+            Value term;
+            if (arr != nullptr) {
+              if (i < 0 || static_cast<std::size_t>(i) >= arr->size()) {
+                elem_bounds_error("array index out of bounds",
+                                  prog_->array_names[M.arr], i);
+              }
+              if constexpr (kCount) ++cur->mem;
+              const Value& ev = (*arr)[static_cast<std::size_t>(i)];
+              if (!ev.is_int()) {
+                // double * double: same result, one tag test instead of two
+                // Value round trips.
+                const double td = pd * ev.as_double();
+                term = Value(td);
+                if constexpr (kCount) ++cur->flops;
+              } else {
+                term = apply_bin(BinOp::Mul, Value(pd), ev);
+                tally(CountTag::ByResult, term);
+              }
+            } else {
+              term = Value(pd);
+            }
+            if (!acc.is_int() && !term.is_int()) {
+              acc = Value(acc.as_double() + term.as_double());
+              if constexpr (kCount) ++cur->flops;
+            } else {
+              acc = apply_bin(BinOp::Add, acc, term);
+              tally(CountTag::ByResult, acc);
+            }
+          }
+          regs[M.acc] = acc;
+          // The loop-variable local holds its final iteration's value, as
+          // after the VM loop.  (The constituent temporaries p/q/m are dead:
+          // expression temps are always rewritten before any later read.)
+          regs[M.slot] = Value(i - st);
+        }
+        regs[M.ri] = Value(i);
+        ++pc;
+        break;
+      }
+      case FOp::PopComputePush: {
+        const PcpArgs& P = prog_->pcps[I.a];
+        double vd;
+        if (P.in_real) {
+          vd = chans_[P.in_edge]->pop_item();
+        } else {
+          vd = tpop(P.in_edge);
+        }
+        if constexpr (kCount) ++cur->channel;
+        ++pops;
+        regs[P.rpop] = Value(vd);
+        double outd = vd;
+        switch (P.kind) {
+          case PcpArgs::Kind::Plain:
+            outd = vd;
+            break;
+          case PcpArgs::Kind::Bin: {
+            const Value r =
+                apply_bin(static_cast<BinOp>(P.sub), regs[P.a], regs[P.b]);
+            tally(P.tag, r);
+            regs[P.rres] = r;
+            outd = r.as_double();
+            break;
+          }
+          case PcpArgs::Kind::Un: {
+            tally(P.tag, regs[P.a]);
+            const Value r = apply_un(static_cast<UnOp>(P.sub), regs[P.a]);
+            regs[P.rres] = r;
+            outd = r.as_double();
+            break;
+          }
+        }
+        if constexpr (kCount) ++cur->channel;
+        if (P.out_real) {
+          chans_[P.out_edge]->push_item(outd);
+        } else {
+          tpush(P.out_edge, outd);
+        }
+        ++pc;
+        break;
+      }
+      case FOp::CopyRun: {
+        const CopyRunArgs& C = prog_->copies[I.a];
+        if constexpr (kCount) {
+          cur->channel +=
+              C.n * (1 + static_cast<std::int64_t>(C.dst.size()));
+        }
+        if (C.n > 0) {
+          double last = 0.0;
+          if (!C.src_real && C.dst.size() == 1 && C.dst_real[0] == 0) {
+            // buffer -> buffer run: bulk copy
+            EdgeState& si = ebuf[C.src];
+            EdgeState& so = ebuf[C.dst[0]];
+            const auto n = static_cast<std::size_t>(C.n);
+            if (si.rd + n > si.wr) {
+              throw std::runtime_error("pop from empty channel");
+            }
+            if (so.wr + n > so.buf.size()) {
+              throw std::logic_error("fused trace buffer overflow");
+            }
+            std::memcpy(so.buf.data() + so.wr, si.buf.data() + si.rd,
+                        n * sizeof(double));
+            si.rd += n;
+            so.wr += n;
+            last = so.buf[so.wr - 1];
+          } else {
+            for (std::int64_t k = 0; k < C.n; ++k) {
+              const double v =
+                  C.src_real ? chans_[C.src]->pop_item() : tpop(C.src);
+              for (std::size_t d = 0; d < C.dst.size(); ++d) {
+                if (C.dst_real[d] != 0) {
+                  chans_[C.dst[d]]->push_item(v);
+                } else {
+                  tpush(C.dst[d], v);
+                }
+              }
+              last = v;
+            }
+          }
+          regs[C.reg] = Value(last);
+        }
+        ++pc;
+        break;
+      }
+      case FOp::NativeFire: {
+        const NativeFireArgs& N = prog_->nats[I.a];
+        const FlatActor& a = prog_->graph->actors[static_cast<std::size_t>(N.actor)];
+        EdgeState dummy;
+        BufIn bin(N.in_edge >= 0 && !N.in_real ? ebuf[N.in_edge] : dummy);
+        BufOut bout(N.out_edge >= 0 && !N.out_real ? ebuf[N.out_edge] : dummy);
+        ir::InTape* in = &g_null_in;
+        ir::OutTape* out = &g_null_out;
+        if (N.in_edge >= 0) {
+          in = N.in_real ? static_cast<ir::InTape*>(chans_[N.in_edge]) : &bin;
+        }
+        if (N.out_edge >= 0) {
+          out = N.out_real ? static_cast<ir::OutTape*>(chans_[N.out_edge])
+                           : &bout;
+        }
+        a.node->native.work(nstates_[static_cast<std::size_t>(N.actor)], *in,
+                            *out);
+        if constexpr (kCount) {
+          cur->flops += N.flops;
+          cur->int_ops += N.int_ops;
+          cur->channel += N.channel;
+        }
+        ++pc;
+        break;
+      }
+      case FOp::Halt:
+        return;
+    }
+  }
+}
+
+// ---- disassembly ------------------------------------------------------------
+
+namespace {
+
+const char* fop_name(FOp op) {
+  switch (op) {
+    case FOp::Move: return "move";
+    case FOp::LoadScalar: return "ld.s";
+    case FOp::StoreScalar: return "st.s";
+    case FOp::LoadElem: return "ld.e";
+    case FOp::StoreElem: return "st.e";
+    case FOp::Bin: return "bin";
+    case FOp::Un: return "un";
+    case FOp::Truthy: return "truthy";
+    case FOp::Jmp: return "jmp";
+    case FOp::JmpIfFalse: return "jf";
+    case FOp::JmpIfTrue: return "jt";
+    case FOp::JmpIfGe: return "jge";
+    case FOp::CheckStep: return "chkstep";
+    case FOp::ForInc: return "forinc";
+    case FOp::Tally: return "tally";
+    case FOp::RPeek: return "r.peek";
+    case FOp::RPop: return "r.pop";
+    case FOp::RPopN: return "r.popn";
+    case FOp::RPush: return "r.push";
+    case FOp::TPeek: return "t.peek";
+    case FOp::TPop: return "t.pop";
+    case FOp::TPopN: return "t.popn";
+    case FOp::TPush: return "t.push";
+    case FOp::SetActor: return "setactor";
+    case FOp::ResetRegs: return "resetregs";
+    case FOp::MacLoop: return "macloop";
+    case FOp::PopComputePush: return "pcp";
+    case FOp::CopyRun: return "copyrun";
+    case FOp::NativeFire: return "nativefire";
+    case FOp::Halt: return "halt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FusedProgram::disassemble() const {
+  std::string out;
+  out += "; fused steady-state trace: " + std::to_string(code.size()) +
+         " instruction(s), " + std::to_string(num_regs) + " register(s), " +
+         std::to_string(eliminated_channels) + " channel(s) lowered\n";
+  for (const auto& [name, n] : super) {
+    out += ";   super " + name + " x " + std::to_string(n) + "\n";
+  }
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const FInstr& I = code[i];
+    out += std::to_string(i) + ": " + fop_name(I.op);
+    switch (I.op) {
+      case FOp::Bin:
+        out += " " + std::string(ir::to_string(static_cast<BinOp>(I.sub)));
+        break;
+      case FOp::Un:
+        out += " " + std::string(ir::to_string(static_cast<UnOp>(I.sub)));
+        break;
+      case FOp::SetActor:
+      case FOp::ResetRegs:
+        out += " " + actors[I.a].name;
+        break;
+      case FOp::MacLoop: {
+        const MacLoopArgs& M = macs[I.a];
+        out += std::string(" ; ") + (M.has_array ? "mac-loop" : "sum-loop") +
+               " acc=r" + std::to_string(M.acc) + " i=r" +
+               std::to_string(M.ri) + " hi=r" + std::to_string(M.rhi);
+        if (M.has_array) out += " coef=" + array_names[M.arr];
+        out += " edge=" + std::to_string(M.edge) + (M.real ? " (ring)" : "");
+        break;
+      }
+      case FOp::PopComputePush: {
+        const PcpArgs& P = pcps[I.a];
+        switch (P.kind) {
+          case PcpArgs::Kind::Plain: out += " ; pop-push"; break;
+          case PcpArgs::Kind::Bin:
+            out += " ; pop-bin-push " +
+                   std::string(ir::to_string(static_cast<BinOp>(P.sub)));
+            break;
+          case PcpArgs::Kind::Un:
+            out += " ; pop-un-push " +
+                   std::string(ir::to_string(static_cast<UnOp>(P.sub)));
+            break;
+        }
+        out += " in=" + std::to_string(P.in_edge) +
+               " out=" + std::to_string(P.out_edge);
+        break;
+      }
+      case FOp::CopyRun: {
+        const CopyRunArgs& C = copies[I.a];
+        out += std::string(" ; ") +
+               (C.dst.size() > 1 ? "dup-run" : "copy-run") + " n=" +
+               std::to_string(C.n) + " src=" + std::to_string(C.src) + " dst=";
+        for (std::size_t d = 0; d < C.dst.size(); ++d) {
+          out += (d ? "," : "") + std::to_string(C.dst[d]);
+        }
+        break;
+      }
+      case FOp::NativeFire:
+        out += " " + actors[static_cast<std::size_t>(nats[I.a].actor)].name;
+        break;
+      default:
+        out += " dst=r" + std::to_string(I.dst) + " a=" + std::to_string(I.a) +
+               " b=" + std::to_string(I.b);
+        break;
+    }
+    if (I.jump >= 0) out += " ->" + std::to_string(I.jump);
+    if (I.edge >= 0) out += " edge=" + std::to_string(I.edge);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sit::runtime

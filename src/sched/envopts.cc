@@ -12,6 +12,9 @@ sched::Engine env_engine() {
   if (env != nullptr && std::strcmp(env, "tree") == 0) {
     return sched::Engine::Tree;
   }
+  if (env != nullptr && std::strcmp(env, "fused") == 0) {
+    return sched::Engine::Fused;
+  }
   return sched::Engine::Vm;
 }
 

@@ -3,7 +3,9 @@
 //
 // Every SIT_* knob the runtime honors is read here and nowhere else:
 //
-//   SIT_ENGINE    "vm" | "tree"          work-function engine (default vm)
+//   SIT_ENGINE    "vm" | "tree" | "fused"  work-function engine (default vm;
+//                                        fused = whole-program steady-state
+//                                        trace, per-actor VM when refused)
 //   SIT_THREADS   integer >= 1           ThreadedExecutor workers (default 1)
 //   SIT_BATCH     integer >= 1 | "auto"  steady iterations per pipeline step
 //                                        (default auto: sized from per-edge

@@ -5,6 +5,7 @@
 
 #include "analysis/analyze.h"
 #include "analysis/bounds_chan.h"
+#include "analysis/fuse.h"
 #include "runtime/compile.h"
 #include "sched/envopts.h"
 
@@ -116,7 +117,7 @@ Executor::Executor(CompiledProgram prog, ExecOptions opts)
     const FlatActor& a = g_.actors[i];
     if (a.kind == FlatActor::Kind::Filter) {
       const ir::FilterSpec& spec = a.node->filter;
-      if (engine_ == Engine::Vm) {
+      if (engine_ == Engine::Vm || engine_ == Engine::Fused) {
         // One-time lowering to bytecode; per-filter fallback to the tree
         // interpreter for anything outside the compiled subset.
         if (auto prog = runtime::compile_filter(spec)) {
@@ -133,6 +134,32 @@ Executor::Executor(CompiledProgram prog, ExecOptions opts)
       fstate_[i] = Interp::init_state(spec);
     } else if (a.kind == FlatActor::Kind::Native) {
       if (a.node->native.make_state) nstate_[i] = a.node->native.make_state();
+    }
+  }
+
+  // Engine::Fused: compile the whole-iteration trace, or record why not.
+  // Refusal is whole-program: steady states then run per-actor on the VM
+  // bindings built above (the Vm path and the Fused fallback are identical).
+  if (engine_ == Engine::Fused) {
+    if (opts_.message_sink) {
+      // Teleport delivery wants per-firing granularity (and the static plan
+      // only proves the *absence* of sends per filter, not per sink).
+      fused_refusal_ = "message-sink-attached";
+    } else if (tb_ != nullptr) {
+      fused_refusal_ = "tracing-enabled";
+    } else {
+      const analysis::FusePlan plan = analysis::fuse_plan(g_, sched_);
+      if (!plan.admissible) {
+        fused_refusal_ = plan.refusal;
+      } else {
+        fprog_ = runtime::build_fused(g_, sched_.order, sched_.reps, plan.carry,
+                                      plan.traffic, &fused_refusal_);
+        if (fprog_) {
+          fexec_ = std::make_unique<runtime::FusedExec>(fprog_, fstate_, chans_,
+                                                        nstate_);
+          fused_refusal_.clear();
+        }
+      }
     }
   }
 }
@@ -342,6 +369,25 @@ std::vector<double> Executor::run_steady(int n) {
               static_cast<std::int32_t>(obs::PhaseId::Steady));
     steady_marked_ = true;
   }
+  // Fused fast path: one flat trace per steady state.  activate() lowers the
+  // internal channels to trace buffers for the whole batch of iterations; it
+  // refuses when manual fire() calls left the graph mid-iteration, in which
+  // case this batch runs per-actor (the graph re-synchronizes at the next
+  // iteration boundary, so a later call may fuse again).
+  if (fexec_ && n > 0 && fexec_->activate()) {
+    runtime::OpCounts* counts = opts_.count_ops ? ops_.data() : nullptr;
+    for (int i = 0; i < n; ++i) {
+      ++steady_run_;
+      ensure_input_for(sched_.input_for_init +
+                       steady_run_ * sched_.input_per_steady);
+      fexec_->run_iteration(counts);
+    }
+    fexec_->deactivate();
+    for (std::size_t a = 0; a < fired_.size(); ++a) {
+      fired_[a] += n * sched_.reps[a];
+    }
+    return take_output();
+  }
   for (int i = 0; i < n; ++i) {
     ++steady_run_;
     ensure_input_for(sched_.input_for_init +
@@ -368,10 +414,20 @@ runtime::OpCounts Executor::total_ops() const {
 
 obs::MetricsSnapshot Executor::metrics_snapshot() const {
   obs::MetricsSnapshot m;
-  m.engine = engine_ == Engine::Vm ? "vm" : "tree";
+  m.engine = engine_ == Engine::Vm     ? "vm"
+             : engine_ == Engine::Fused ? "fused"
+                                        : "tree";
   m.threads = 1;
   m.threaded = false;
   m.fallback = "none";
+  if (engine_ == Engine::Fused && !fexec_) {
+    m.fallback = "fused-refused";
+    m.fallback_detail = fused_refusal_;
+  }
+  if (fprog_) {
+    m.fused_channels = fprog_->eliminated_channels;
+    m.fused_super.assign(fprog_->super.begin(), fprog_->super.end());
+  }
   m.pipeline = pipeline_;
   m.passes = passes_;
 

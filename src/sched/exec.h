@@ -21,6 +21,7 @@
 #include "obs/trace.h"
 #include "runtime/channel.h"
 #include "runtime/flatgraph.h"
+#include "runtime/fused.h"
 #include "runtime/interp.h"
 #include "runtime/vm.h"
 #include "sched/program.h"
@@ -130,6 +131,17 @@ class Executor {
     return vmf_[static_cast<std::size_t>(actor)] != nullptr;
   }
 
+  // Fused engine introspection (Engine::Fused only).  fused_program() is the
+  // whole-iteration trace run_steady executes, or null when fusion was
+  // refused -- in which case fused_refusal() carries the stable reason
+  // (analysis/fuse.h) and steady states run per-actor on the VM instead.
+  [[nodiscard]] const runtime::FusedProgram* fused_program() const {
+    return fprog_ ? fprog_.get() : nullptr;
+  }
+  [[nodiscard]] const std::string& fused_refusal() const {
+    return fused_refusal_;
+  }
+
   [[nodiscard]] const std::vector<std::int64_t>& firings() const { return fired_; }
   [[nodiscard]] runtime::Channel& channel(int edge_id) {
     return *chans_[static_cast<std::size_t>(edge_id)];
@@ -175,6 +187,10 @@ class Executor {
   // interpreter.  fstate_ entries must therefore never be reseated.
   std::vector<std::unique_ptr<runtime::VmBound>> vmf_;
   std::vector<std::unique_ptr<ir::NativeState>> nstate_;
+  // Fused steady-state trace (Engine::Fused; null when fusion was refused).
+  runtime::FusedProgramP fprog_;
+  std::unique_ptr<runtime::FusedExec> fexec_;
+  std::string fused_refusal_;
   std::vector<runtime::OpCounts> ops_;
   std::vector<std::int64_t> fired_;
   std::function<double(std::int64_t)> input_gen_;

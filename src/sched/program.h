@@ -28,10 +28,15 @@ namespace sit::sched {
 // Which work-function engine drives AST filters.  Vm compiles each filter's
 // work/init to bytecode once and falls back to the tree interpreter
 // *per filter* for anything outside the bytecode subset; Tree forces the
-// tree interpreter everywhere.  Auto resolves from the SIT_ENGINE
-// environment variable ("tree" or "vm"), defaulting to Vm -- which lets CI
-// run the whole test suite under either engine without code changes.
-enum class Engine { Auto, Tree, Vm };
+// tree interpreter everywhere.  Fused additionally compiles one whole
+// steady-state iteration into a single flat bytecode trace with
+// superinstructions (runtime/fused.h) and runs it when the program is
+// admissible (analysis/fuse.h), falling back to per-actor VM execution --
+// whole-program, not per-filter -- when it is not.  Auto resolves from the
+// SIT_ENGINE environment variable ("tree", "vm", or "fused"), defaulting to
+// Vm -- which lets CI run the whole test suite under any engine without code
+// changes.
+enum class Engine { Auto, Tree, Vm, Fused };
 
 struct CompiledProgram {
   ir::NodeP source;  // pre-pipeline graph (provenance; may be null)

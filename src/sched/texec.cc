@@ -273,7 +273,10 @@ void ThreadedExecutor::build_storage() {
     const FlatActor& a = g_.actors[i];
     if (a.kind == FlatActor::Kind::Filter) {
       const ir::FilterSpec& spec = a.node->filter;
-      if (engine_ == Engine::Vm) {
+      // The worker loop fires per-actor; Engine::Fused degrades to the VM
+      // bindings here (the fused trace is inherently single-threaded -- the
+      // threads <= 1 path delegates to a plain Executor, which does fuse).
+      if (engine_ == Engine::Vm || engine_ == Engine::Fused) {
         if (auto prog = runtime::compile_filter(spec)) {
           fstate_[i] = Interp::declare_state(spec);
           vmf_[i] = std::make_unique<runtime::VmBound>(prog, fstate_[i]);
@@ -977,7 +980,9 @@ obs::MetricsSnapshot ThreadedExecutor::metrics_snapshot() const {
   }
 
   obs::MetricsSnapshot m;
-  m.engine = engine_ == Engine::Vm ? "vm" : "tree";
+  // Fused degrades to per-actor VM under the threaded runtime; report what
+  // actually drives the workers.
+  m.engine = engine_ == Engine::Tree ? "tree" : "vm";
   m.threads = threads_;
   m.batch = batch_;
   m.threaded = true;

@@ -4,9 +4,9 @@
 //
 //   1. At a fixed optimization level, the compiled artifact computes the
 //      same stream BIT-EQUAL under every engine (tree interpreter, bytecode
-//      VM, 4-thread runtime) -- same outputs, same firings, same operation
-//      counts per engine pair that shares a counting discipline, same
-//      cumulative channel counters.
+//      VM, fused steady-state trace, 4-thread runtime) -- same outputs, same
+//      firings, same operation counts per engine pair that shares a counting
+//      discipline, same cumulative channel counters, same filter state.
 //   2. Across optimization levels, outputs are numerically equivalent but
 //      not necessarily bit-equal: linear combination and frequency
 //      translation reassociate floating-point arithmetic, which the paper's
@@ -91,25 +91,51 @@ TEST_P(EngineDiffP, EnginesBitEqualOnCompiledArtifact) {
   vopt.engine = sched::Engine::Vm;
   sched::Executor vm(prog, vopt);
 
+  sched::ExecOptions fopt;
+  fopt.engine = sched::Engine::Fused;
+  sched::Executor fused(prog, fopt);
+
   sched::ExecOptions thopt;
   thopt.threads = 4;
   sched::ThreadedExecutor thr(prog, thopt);
 
   const auto tout = tree.run_steady(3);
   const auto vout = vm.run_steady(3);
+  const auto fout = fused.run_steady(3);
   const auto thout = thr.run_steady(3);
   expect_bit_equal(tout, vout, "tree vs vm");
+  expect_bit_equal(tout, fout, "tree vs fused");
   expect_bit_equal(tout, thout, "tree vs 4-thread");
 
-  // Same firings and OpCounts: both sequential engines share the counting
-  // discipline exactly; the threaded runtime tallies the same firings.
+  // Same firings and OpCounts: the sequential engines share the counting
+  // discipline exactly (the fused trace replicates the VM's tally points
+  // instruction for instruction); the threaded runtime tallies the same
+  // firings.
   EXPECT_EQ(tree.firings(), vm.firings());
+  EXPECT_EQ(tree.firings(), fused.firings());
   EXPECT_EQ(tree.firings(), thr.firings());
   EXPECT_EQ(tree.total_ops().flops, vm.total_ops().flops);
   EXPECT_DOUBLE_EQ(tree.total_ops().weighted(), vm.total_ops().weighted());
   EXPECT_EQ(tree.total_ops().flops, thr.total_ops().flops);
 
-  // Same cumulative channel counters n(t)/p(t) on every edge.
+  // The fused engine's per-actor OpCounts must be bit-identical to the VM's
+  // in every field, whether the steady state ran on the whole-program trace
+  // or fell back per-actor.
+  ASSERT_EQ(fused.actor_ops().size(), vm.actor_ops().size());
+  for (std::size_t a = 0; a < vm.actor_ops().size(); ++a) {
+    const auto& vo = vm.actor_ops()[a];
+    const auto& fo = fused.actor_ops()[a];
+    EXPECT_EQ(vo.int_ops, fo.int_ops) << "actor " << a;
+    EXPECT_EQ(vo.flops, fo.flops) << "actor " << a;
+    EXPECT_EQ(vo.divs, fo.divs) << "actor " << a;
+    EXPECT_EQ(vo.trans, fo.trans) << "actor " << a;
+    EXPECT_EQ(vo.mem, fo.mem) << "actor " << a;
+    EXPECT_EQ(vo.channel, fo.channel) << "actor " << a;
+  }
+
+  // Same cumulative channel counters n(t)/p(t) on every edge.  The fused
+  // engine lowers internal channels to trace buffers but still advances
+  // their cumulative counters by the per-iteration traffic.
   const auto& g = prog.flat;
   for (std::size_t e = 0; e < g.edges.size(); ++e) {
     const int ei = static_cast<int>(e);
@@ -117,10 +143,41 @@ TEST_P(EngineDiffP, EnginesBitEqualOnCompiledArtifact) {
         << "edge " << e;
     EXPECT_EQ(tree.channel(ei).total_popped(), vm.channel(ei).total_popped())
         << "edge " << e;
+    EXPECT_EQ(tree.channel(ei).total_pushed(), fused.channel(ei).total_pushed())
+        << "edge " << e;
+    EXPECT_EQ(tree.channel(ei).total_popped(), fused.channel(ei).total_popped())
+        << "edge " << e;
     EXPECT_EQ(tree.channel(ei).total_pushed(), thr.edge_pushed(ei))
         << "edge " << e;
     EXPECT_EQ(tree.channel(ei).total_popped(), thr.edge_popped(ei))
         << "edge " << e;
+  }
+
+  // Same filter state after the run: every scalar and array element the VM
+  // left behind must match what the fused trace left behind bit-for-bit.
+  for (std::size_t a = 0; a < g.actors.size(); ++a) {
+    const auto& vs = vm.filter_state(static_cast<int>(a));
+    const auto& fs = fused.filter_state(static_cast<int>(a));
+    ASSERT_EQ(vs.scalars.size(), fs.scalars.size()) << "actor " << a;
+    for (const auto& [name, val] : vs.scalars) {
+      const auto it = fs.scalars.find(name);
+      ASSERT_NE(it, fs.scalars.end()) << "actor " << a << " scalar " << name;
+      EXPECT_EQ(val.is_int(), it->second.is_int())
+          << "actor " << a << " scalar " << name;
+      EXPECT_EQ(val.as_double(), it->second.as_double())
+          << "actor " << a << " scalar " << name;
+    }
+    ASSERT_EQ(vs.arrays.size(), fs.arrays.size()) << "actor " << a;
+    for (const auto& [name, arr] : vs.arrays) {
+      const auto it = fs.arrays.find(name);
+      ASSERT_NE(it, fs.arrays.end()) << "actor " << a << " array " << name;
+      ASSERT_EQ(arr.size(), it->second.size())
+          << "actor " << a << " array " << name;
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        EXPECT_EQ(arr[i].as_double(), it->second[i].as_double())
+            << "actor " << a << " array " << name << "[" << i << "]";
+      }
+    }
   }
 }
 

@@ -311,7 +311,11 @@ TEST(ChannelBounds, DominateObservedHighWaterOnAllApps) {
                 << what << " edge " << e.name;
             // In-order single-threaded runs track exact peaks at firing
             // boundaries; on the linear chain apps the bound is tight.
-            if (threads == 1 && is_linear_chain(a.name)) {
+            // The fused engine lowers internal channels to trace buffers, so
+            // it never observes intermediate occupancy -- high water is the
+            // one metric fusion explicitly does not preserve (runtime/fused.h).
+            if (threads == 1 && is_linear_chain(a.name) &&
+                ex.engine() != sched::Engine::Fused) {
               EXPECT_EQ(e.peak_items, e.bound_items)
                   << what << " edge " << e.name;
             }

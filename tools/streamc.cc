@@ -2,7 +2,7 @@
 // pipeline (src/opt), report what every pass did, and run the result.
 //
 //   streamc --app=NAME [-O0|-O1|-O2] [--passes=a,b,c] [--report]
-//           [--verify-each] [--dump-after=PASS] [--engine=vm|tree]
+//           [--verify-each] [--dump-after=PASS] [--engine=vm|tree|fused]
 //           [--threads=N] [--steady=N] [--metrics=FILE] [--quiet]
 //   streamc --list
 //   streamc --list-passes
@@ -27,16 +27,65 @@
 #include <vector>
 
 #include "apps/apps.h"
+#include "analysis/fuse.h"
 #include "opt/compile.h"
+#include "runtime/fused.h"
 #include "sched/texec.h"
 
 namespace {
+
+// Build the fused steady-state trace for a (mid-pipeline) graph and render
+// it, or explain why it does not fuse.  Used by --dump-after=fuse-steady.
+std::string fused_trace_dump(const sit::ir::NodeP& g) {
+  try {
+    const sit::runtime::FlatGraph flat = sit::runtime::flatten(g);
+    const sit::sched::Schedule s = sit::sched::make_schedule(flat);
+    const sit::analysis::FusePlan plan = sit::analysis::fuse_plan(flat, s);
+    if (!plan.admissible) return "refused: " + plan.refusal + "\n";
+    std::string reason;
+    const sit::runtime::FusedProgramP prog = sit::runtime::build_fused(
+        flat, s.order, s.reps, plan.carry, plan.traffic, &reason);
+    if (!prog) return "refused: " + reason + "\n";
+    return prog->disassemble();
+  } catch (const std::exception& e) {
+    return std::string("unavailable: ") + e.what() + "\n";
+  }
+}
+
+// The --report fusion section: superinstruction statics and the
+// eliminated-channel tally, or the stable refusal reason.
+std::string fused_report(const sit::sched::CompiledProgram& prog) {
+  std::string out = "fuse-steady:\n";
+  const sit::analysis::FusePlan plan =
+      sit::analysis::fuse_plan(prog.flat, prog.schedule);
+  if (!plan.admissible) {
+    return out + "  refused: " + plan.refusal + "\n";
+  }
+  std::string reason;
+  const sit::runtime::FusedProgramP fp =
+      sit::runtime::build_fused(prog.flat, prog.schedule.order,
+                                prog.schedule.reps, plan.carry, plan.traffic,
+                                &reason);
+  if (!fp) return out + "  refused: " + reason + "\n";
+  out += "  admissible: " + std::to_string(fp->eliminated_channels) +
+         " channel(s) lowered to trace buffers, " +
+         std::to_string(fp->code.size()) + " trace instruction(s)\n";
+  if (fp->super.empty()) {
+    out += "  superinstructions: none selected\n";
+  } else {
+    for (const auto& [name, n] : fp->super) {
+      out += "  super " + name + ": " + std::to_string(n) + " instance(s)\n";
+    }
+  }
+  return out;
+}
 
 void usage(std::FILE* to) {
   std::fprintf(
       to,
       "usage: streamc --app=NAME [-O0|-O1|-O2] [--passes=a,b,c] [--report]\n"
-      "               [--verify-each] [--dump-after=PASS] [--engine=vm|tree]\n"
+      "               [--verify-each] [--dump-after=PASS]\n"
+      "               [--engine=vm|tree|fused]\n"
       "               [--threads=N] [--batch=N|auto] [--steady=N]\n"
       "               [--metrics=FILE] [--quiet]\n"
       "       streamc --list\n"
@@ -63,7 +112,7 @@ struct Args {
   sit::opt::OptLevel level{sit::opt::OptLevel::Auto};
   std::string passes;
   std::string dump_after;
-  std::string engine;  // "", "vm", "tree"
+  std::string engine;  // "", "vm", "tree", "fused"
   int threads{0};      // 0 = SIT_THREADS
   int batch{0};        // 0 = SIT_BATCH, -1 = auto, >= 1 explicit
   int steady{16};
@@ -119,7 +168,9 @@ bool parse_args(int argc, char** argv, Args* a) {
     } else if (arg == "--engine") {
       if (!take()) return false;
       a->engine = lower(val);
-      if (a->engine != "vm" && a->engine != "tree") return false;
+      if (a->engine != "vm" && a->engine != "tree" && a->engine != "fused") {
+        return false;
+      }
     } else if (arg == "--threads") {
       if (!take()) return false;
       a->threads = std::atoi(val.c_str());
@@ -193,12 +244,19 @@ int main(int argc, char** argv) {
   copts.exec.batch = args.batch;
   if (args.engine == "vm") copts.exec.engine = sit::sched::Engine::Vm;
   if (args.engine == "tree") copts.exec.engine = sit::sched::Engine::Tree;
+  if (args.engine == "fused") copts.exec.engine = sit::sched::Engine::Fused;
   if (!args.dump_after.empty()) {
     copts.on_pass = [&args](const sit::obs::PassSnapshot& snap,
                             const sit::ir::NodeP& g) {
       if (snap.name == args.dump_after) {
         std::printf("--- graph after %s ---\n%s", snap.name.c_str(),
                     sit::ir::describe(g).c_str());
+        // The fuse-steady pass's artifact is the trace, not a graph rewrite:
+        // dump the flat bytecode with superinstructions annotated.
+        if (snap.name == "fuse-steady") {
+          std::printf("--- fused steady-state trace ---\n%s",
+                      fused_trace_dump(g).c_str());
+        }
       }
     };
   }
@@ -214,8 +272,9 @@ int main(int argc, char** argv) {
   }
 
   if (args.report) {
-    std::printf("%s\n%s", app->name.c_str(),
-                sit::opt::pass_report(prog, &ctx.rewrites).c_str());
+    std::printf("%s\n%s%s", app->name.c_str(),
+                sit::opt::pass_report(prog, &ctx.rewrites).c_str(),
+                fused_report(prog).c_str());
   }
 
   sit::sched::ThreadedExecutor tex(std::move(prog), copts.exec);

@@ -55,6 +55,12 @@ double source_items(const sit::parallel::Placement& p) {
 int main() {
   using sit::linear::OptimizeOptions;
 
+  // Machine-readable mirror of ablation A (the selection result the paper's
+  // headline depends on), stamped -- like every BENCH_*.json -- with the
+  // cost model that drove selection, so a calibrated-profile run is never
+  // confused with a static-model run in the trajectory.
+  std::vector<sit::bench::BenchRecord> records;
+
   // ---- A: which optimization matters where --------------------------------
   std::printf("Ablation A: optimization selection variants (speedup vs "
               "direct, cost model)\n");
@@ -73,6 +79,11 @@ int main() {
     const double c3 = cost_per_item(sit::linear::optimize_selection(app, {}));
     std::printf("%-14s %11.2fx %11.2fx %9.2fx\n", name.c_str(), direct / c1,
                 direct / c2, direct / c3);
+    records.push_back({name,
+                       {{"direct_cost_per_item", direct},
+                        {"speedup_combine_only", direct / c1},
+                        {"speedup_frequency_only", direct / c2},
+                        {"speedup_both", direct / c3}}});
   }
 
   // ---- B: fission width ------------------------------------------------------
@@ -135,6 +146,12 @@ int main() {
     const auto g = sit::linear::optimize_selection(sit::apps::make_app("FMRadio"), o);
     std::printf("  sync_weight %.2f -> %d leaf actors, cost/item %.1f\n", wgt,
                 sit::ir::count_filters(g), cost_per_item(g));
+  }
+
+  if (!sit::bench::write_bench_json("BENCH_ablation.json",
+                                    "optimization_ablation", records)) {
+    std::fprintf(stderr, "bench_ablation: cannot write BENCH_ablation.json\n");
+    return 1;
   }
   return 0;
 }

@@ -18,6 +18,7 @@
 
 #include "apps/apps.h"
 #include "machine/machine.h"
+#include "obs/costmodel.h"
 #include "obs/metrics.h"
 #include "parallel/strategies.h"
 #include "sched/envopts.h"
@@ -121,12 +122,18 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
                  "results stamped \"degraded\" (authoritative: false) in %s\n",
                  measured, cpus, path.c_str());
   }
+  // Which cost model drove partitioning/selection during the run: numbers
+  // measured under a calibrated profile are not comparable to static-model
+  // runs, so the trajectory must record the model (and its profile) too.
+  const obs::CostModel& cmodel = obs::cost_model();
   f << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n"
     << "  \"git_sha\": \"" << json_escape(bench_git_sha()) << "\",\n"
     << "  \"engine\": \"" << engine << "\",\n"
     << "  \"threads\": " << env.threads << ",\n"
     << "  \"opt\": {\"level\": " << env.opt_level << ", \"passes\": \""
     << json_escape(env.passes) << "\"},\n"
+    << "  \"cost_model\": {\"source\": \"" << cmodel.source()
+    << "\", \"profile\": \"" << json_escape(cmodel.profile_path()) << "\"},\n"
     << "  \"host\": {\"hostname\": \"" << json_escape(bench_hostname())
     << "\", \"cpus\": " << cpus << ", \"max_threads_measured\": " << measured
     << ", \"degraded\": " << (degraded ? "true" : "false")

@@ -3,6 +3,7 @@
 #include <map>
 #include <mutex>
 
+#include "obs/costmodel.h"
 #include "runtime/channel.h"
 #include "runtime/interp.h"
 #include "runtime/flatgraph.h"
@@ -86,9 +87,19 @@ double leaf_ops_per_firing(const ir::Node& leaf) {
   return 0.0;
 }
 
+double calibrated_ops_per_firing(const ir::Node& leaf,
+                                 const std::string& actor_name) {
+  double measured = 0.0;
+  if (obs::cost_model().measured_cycles_per_fire(actor_name, &measured)) {
+    return measured;
+  }
+  return leaf_ops_per_firing(leaf);
+}
+
 NodeCost node_cost(const ir::NodeP& node) {
   const runtime::FlatGraph g = runtime::flatten(node);
   const sched::Schedule s = sched::make_schedule(g);
+  const obs::CostModel& cm = obs::cost_model();
   NodeCost c;
   c.in_per_ss = s.input_per_steady;
   c.out_per_ss = s.output_per_steady;
@@ -96,8 +107,16 @@ NodeCost node_cost(const ir::NodeP& node) {
     const auto& a = g.actors[i];
     const double reps = static_cast<double>(s.reps[i]);
     if (a.is_filter()) {
+      const double stat = leaf_ops_per_firing(*a.node);
       c.flops_per_ss += reps * leaf_flops_per_firing(*a.node);
-      c.ops_per_ss += reps * leaf_ops_per_firing(*a.node);
+      c.ops_per_ss += reps * stat;
+      double measured = 0.0;
+      if (cm.measured_cycles_per_fire(a.name, &measured)) {
+        c.meas_ops_per_ss += reps * measured;
+        ++c.measured_actors;
+      } else {
+        c.meas_ops_per_ss += reps * stat;
+      }
     } else {
       // A splitter/joiner firing moves its total weight in items.
       std::int64_t items = 0;

@@ -1,0 +1,109 @@
+#include "obs/costmodel.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sit::obs {
+
+void CostModel::install(CostProfile profile, std::string path) {
+  profile_ = std::move(profile);
+  path_ = std::move(path);
+  cycles_per_ns_ = profile_.cycles_per_ns();
+  calibrated_ = true;
+}
+
+void CostModel::clear() {
+  profile_ = CostProfile{};
+  path_.clear();
+  cycles_per_ns_ = 1.0;
+  calibrated_ = false;
+}
+
+bool CostModel::measured_cycles_per_fire(const std::string& actor,
+                                         double* cycles) const {
+  if (!calibrated_) return false;
+  const CostProfileActor* a = profile_.find(actor);
+  if (a == nullptr || a->firings <= 0 || a->wall_ns <= 0) return false;
+  *cycles = a->ns_per_fire() * cycles_per_ns_;
+  return true;
+}
+
+bool CostModel::divergence(const std::string& actor, double* ratio) const {
+  double measured = 0.0;
+  if (!measured_cycles_per_fire(actor, &measured)) return false;
+  const CostProfileActor* a = profile_.find(actor);
+  if (a->model_cycles_per_fire <= 0) return false;
+  *ratio = measured / a->model_cycles_per_fire;
+  return true;
+}
+
+namespace {
+
+CostModel& mutable_model() {
+  static CostModel model;
+  return model;
+}
+
+// One-shot SIT_COST resolution state: 0 = not yet consulted, 1 = consulted.
+bool& env_resolved() {
+  static bool resolved = false;
+  return resolved;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+const CostModel& cost_model() {
+  if (!env_resolved()) {
+    env_resolved() = true;
+    if (const char* path = std::getenv("SIT_COST");
+        path != nullptr && path[0] != '\0') {
+      std::string err;
+      if (!load_cost_model(path, &err)) {
+        std::fprintf(stderr,
+                     "sit: SIT_COST=%s ignored: %s (costs stay static)\n",
+                     path, err.c_str());
+      }
+    }
+  }
+  return mutable_model();
+}
+
+bool load_cost_model(const std::string& path, std::string* err) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    if (err != nullptr) *err = "cannot read '" + path + "'";
+    return false;
+  }
+  CostProfile profile;
+  std::string perr;
+  if (!CostProfile::parse(text, &profile, &perr)) {
+    if (err != nullptr) *err = path + ": " + perr;
+    return false;
+  }
+  env_resolved() = true;
+  mutable_model().install(std::move(profile), path);
+  return true;
+}
+
+void set_cost_model(CostProfile profile, const std::string& path) {
+  env_resolved() = true;
+  mutable_model().install(std::move(profile), path);
+}
+
+void reset_cost_model() {
+  env_resolved() = false;
+  mutable_model().clear();
+}
+
+}  // namespace sit::obs

@@ -1,0 +1,244 @@
+#include "obs/costprofile.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/jsonlite.h"
+#include "obs/metrics.h"
+
+namespace sit::obs {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Doubles print with enough digits to round-trip through the jsonlite
+// reader bit-exactly (%.17g is the shortest always-sufficient form).
+void put_double(std::ostringstream& o, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  o << buf;
+}
+
+CostProfileActor* find_or_insert(std::vector<CostProfileActor>& actors,
+                                 const std::string& name) {
+  const auto it = std::lower_bound(
+      actors.begin(), actors.end(), name,
+      [](const CostProfileActor& a, const std::string& n) { return a.name < n; });
+  if (it != actors.end() && it->name == name) return &*it;
+  CostProfileActor a;
+  a.name = name;
+  return &*actors.insert(it, std::move(a));
+}
+
+void accumulate(CostProfileActor* into, const CostProfileActor& from) {
+  into->firings += from.firings;
+  into->wall_ns += from.wall_ns;
+  if (into->model_cycles_per_fire <= 0) {
+    into->model_cycles_per_fire = from.model_cycles_per_fire;
+  }
+  into->ops += from.ops;
+}
+
+void add_super(std::vector<std::pair<std::string, std::int64_t>>& super,
+               const std::string& name, std::int64_t count) {
+  for (auto& [k, v] : super) {
+    if (k == name) {
+      v += count;
+      return;
+    }
+  }
+  super.emplace_back(name, count);
+}
+
+std::int64_t get_i64(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? static_cast<std::int64_t>(v->number)
+                                          : 0;
+}
+
+double get_num(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->number : 0.0;
+}
+
+std::string get_str(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return (v != nullptr && v->is_string()) ? v->str : std::string();
+}
+
+}  // namespace
+
+void CostProfile::add_run(
+    const MetricsSnapshot& m,
+    const std::map<std::string, double>& model_cycles_per_fire) {
+  if (!m.app.empty() &&
+      std::find(apps.begin(), apps.end(), m.app) == apps.end()) {
+    apps.push_back(m.app);
+  }
+  for (const ActorSnapshot& a : m.actors) {
+    if (a.firings <= 0 || a.wall_ns <= 0) continue;
+    CostProfileActor row;
+    row.name = a.name;
+    row.firings = a.firings;
+    row.wall_ns = a.wall_ns;
+    row.ops = a.ops;
+    const auto it = model_cycles_per_fire.find(a.name);
+    if (it != model_cycles_per_fire.end()) row.model_cycles_per_fire = it->second;
+    accumulate(find_or_insert(actors, a.name), row);
+  }
+  for (const auto& [name, count] : m.fused_super) add_super(super, name, count);
+}
+
+void CostProfile::merge(const CostProfile& other) {
+  for (const std::string& app : other.apps) {
+    if (std::find(apps.begin(), apps.end(), app) == apps.end()) {
+      apps.push_back(app);
+    }
+  }
+  for (const CostProfileActor& a : other.actors) {
+    accumulate(find_or_insert(actors, a.name), a);
+  }
+  for (const auto& [name, count] : other.super) add_super(super, name, count);
+}
+
+const CostProfileActor* CostProfile::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      actors.begin(), actors.end(), name,
+      [](const CostProfileActor& a, const std::string& n) { return a.name < n; });
+  return (it != actors.end() && it->name == name) ? &*it : nullptr;
+}
+
+double CostProfile::cycles_per_ns() const {
+  double cycles = 0.0;
+  double ns = 0.0;
+  for (const CostProfileActor& a : actors) {
+    if (a.model_cycles_per_fire <= 0 || a.wall_ns <= 0) continue;
+    cycles += a.model_cycles_per_fire * static_cast<double>(a.firings);
+    ns += static_cast<double>(a.wall_ns);
+  }
+  return ns > 0 ? cycles / ns : 1.0;
+}
+
+std::string CostProfile::to_json() const {
+  std::ostringstream o;
+  o << "{\n";
+  o << "  \"schema\": " << schema << ",\n";
+  o << "  \"git_sha\": \"" << escape(git_sha) << "\",\n";
+  o << "  \"host\": {\"hostname\": \"" << escape(hostname)
+    << "\", \"cpus\": " << cpus << "},\n";
+  o << "  \"apps\": [";
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    o << "\"" << escape(apps[i]) << "\"" << (i + 1 < apps.size() ? ", " : "");
+  }
+  o << "],\n";
+  o << "  \"actors\": [\n";
+  for (std::size_t i = 0; i < actors.size(); ++i) {
+    const CostProfileActor& a = actors[i];
+    o << "    {\"name\": \"" << escape(a.name) << "\", \"firings\": " << a.firings
+      << ", \"wall_ns\": " << a.wall_ns << ", \"model_cycles_per_fire\": ";
+    put_double(o, a.model_cycles_per_fire);
+    o << ", \"ops\": {\"int_ops\": " << a.ops.int_ops
+      << ", \"flops\": " << a.ops.flops << ", \"divs\": " << a.ops.divs
+      << ", \"trans\": " << a.ops.trans << ", \"mem\": " << a.ops.mem
+      << ", \"channel\": " << a.ops.channel << "}}"
+      << (i + 1 < actors.size() ? "," : "") << "\n";
+  }
+  o << "  ],\n";
+  o << "  \"super\": {";
+  for (std::size_t i = 0; i < super.size(); ++i) {
+    o << "\"" << escape(super[i].first) << "\": " << super[i].second
+      << (i + 1 < super.size() ? ", " : "");
+  }
+  o << "}\n";
+  o << "}\n";
+  return o.str();
+}
+
+bool CostProfile::parse(const std::string& text, CostProfile* out,
+                        std::string* err) {
+  const auto fail = [err](const std::string& why) {
+    if (err != nullptr) *err = why;
+    return false;
+  };
+  json::Value root;
+  std::string jerr;
+  if (!json::parse(text, &root, &jerr)) return fail("bad JSON: " + jerr);
+  if (!root.is_object()) return fail("top level is not an object");
+
+  const json::Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_number()) {
+    return fail("missing \"schema\"");
+  }
+  if (static_cast<int>(schema->number) != kSchema) {
+    return fail("unsupported schema " +
+                std::to_string(static_cast<int>(schema->number)));
+  }
+
+  CostProfile p;
+  p.schema = kSchema;
+  p.git_sha = get_str(root, "git_sha");
+  if (const json::Value* host = root.find("host");
+      host != nullptr && host->is_object()) {
+    p.hostname = get_str(*host, "hostname");
+    p.cpus = static_cast<int>(get_i64(*host, "cpus"));
+  }
+  if (const json::Value* apps = root.find("apps");
+      apps != nullptr && apps->is_array()) {
+    for (const json::Value& a : apps->arr) {
+      if (a.is_string()) p.apps.push_back(a.str);
+    }
+  }
+
+  const json::Value* actors = root.find("actors");
+  if (actors == nullptr || !actors->is_array()) {
+    return fail("missing \"actors\" array");
+  }
+  for (const json::Value& a : actors->arr) {
+    if (!a.is_object()) return fail("actor row is not an object");
+    CostProfileActor row;
+    row.name = get_str(a, "name");
+    if (row.name.empty()) return fail("actor row without a name");
+    row.firings = get_i64(a, "firings");
+    row.wall_ns = get_i64(a, "wall_ns");
+    row.model_cycles_per_fire = get_num(a, "model_cycles_per_fire");
+    if (row.firings < 0 || row.wall_ns < 0 || row.model_cycles_per_fire < 0) {
+      return fail("actor '" + row.name + "' has a negative count");
+    }
+    if (const json::Value* ops = a.find("ops");
+        ops != nullptr && ops->is_object()) {
+      row.ops.int_ops = get_i64(*ops, "int_ops");
+      row.ops.flops = get_i64(*ops, "flops");
+      row.ops.divs = get_i64(*ops, "divs");
+      row.ops.trans = get_i64(*ops, "trans");
+      row.ops.mem = get_i64(*ops, "mem");
+      row.ops.channel = get_i64(*ops, "channel");
+    }
+    // Keep the emitter's sort instead of trusting foreign files to be sorted.
+    accumulate(find_or_insert(p.actors, row.name), row);
+  }
+
+  if (const json::Value* super = root.find("super");
+      super != nullptr && super->is_object()) {
+    for (const auto& [k, v] : super->obj) {
+      if (v.is_number()) {
+        add_super(p.super, k, static_cast<std::int64_t>(v.number));
+      }
+    }
+  }
+
+  *out = std::move(p);
+  return true;
+}
+
+}  // namespace sit::obs

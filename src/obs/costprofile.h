@@ -1,0 +1,91 @@
+#pragma once
+// Cost-profile artifacts: the measurement half of the calibration loop.
+//
+// A CostProfile is the durable record of where time actually went: per flat
+// actor, measured wall-ns per firing (from the Recorder's FiringStats), the
+// static model's cycles per firing (linear/cost.h, supplied by the
+// harvester -- obs stays dependency-free), abstract-op aggregates, and the
+// fused engine's per-superinstruction counts.  streamprof --calibrate writes
+// one, streamprof --calibrate-all merges one per app into a corpus stamped
+// with host metadata and the git SHA, and CostModel (obs/costmodel.h) loads
+// one back to drive the partitioner / coarsen / selection costs.
+//
+// Serialization is plain JSON, written by to_json() and read back with the
+// in-tree jsonlite reader; parse(to_json()) reproduces the profile exactly
+// (pinned by tests), so the artifact survives a round trip through CI
+// storage without drift.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/opcounts.h"
+
+namespace sit::obs {
+
+struct MetricsSnapshot;
+
+// One flat actor's accumulated measurements across every contributing run.
+// Totals, not rates: merging two runs is addition, and the rates
+// (ns_per_fire) are derived on demand so they stay consistent after a merge.
+struct CostProfileActor {
+  std::string name;
+  std::int64_t firings{0};       // measured firings contributing to wall_ns
+  std::int64_t wall_ns{0};       // total measured wall time of those firings
+  double model_cycles_per_fire{0};  // static model's estimate (0 = unknown)
+  runtime::OpCounts ops;         // abstract-op totals (zero when not counted)
+
+  // Measured nanoseconds per firing; 0 until at least one timed firing.
+  [[nodiscard]] double ns_per_fire() const {
+    return firings > 0
+               ? static_cast<double>(wall_ns) / static_cast<double>(firings)
+               : 0.0;
+  }
+};
+
+struct CostProfile {
+  static constexpr int kSchema = 1;
+
+  int schema{kSchema};
+  std::string git_sha;   // provenance: commit the binaries were built from
+  std::string hostname;  // measurements are hardware-dependent
+  int cpus{0};
+  std::vector<std::string> apps;        // contributing apps, in harvest order
+  std::vector<CostProfileActor> actors; // sorted by name (merge order stable)
+  // Fused-engine superinstruction executions by stable name, summed across
+  // contributing runs (empty when no run used the fused engine).
+  std::vector<std::pair<std::string, std::int64_t>> super;
+
+  // Fold one run's metrics into the profile.  `model_cycles_per_fire` maps
+  // flat actor name -> the static model's cycles per firing for that run's
+  // graph; the harvester computes it (linear::leaf_ops_per_firing) because
+  // obs must not depend on the linear layer.  Actors without timed firings
+  // (wall_ns == 0) are skipped -- an untimed run calibrates nothing.
+  void add_run(const MetricsSnapshot& m,
+               const std::map<std::string, double>& model_cycles_per_fire);
+
+  // Accumulate another profile (corpus building).  Host/provenance fields of
+  // *this win; actor rows merge by name.
+  void merge(const CostProfile& other);
+
+  [[nodiscard]] const CostProfileActor* find(const std::string& name) const;
+
+  // Corpus-wide modeled-cycles-per-measured-ns: the unit bridge that makes
+  // measured weights commensurable with static fallback weights.  Computed
+  // over actors that have both a measurement and a model estimate; 1.0 when
+  // no actor has both (raw ns then act as cycles, which preserves relative
+  // order -- the only thing LPT and the gates compare).
+  [[nodiscard]] double cycles_per_ns() const;
+
+  [[nodiscard]] std::string to_json() const;
+
+  // Parse a serialized profile.  Returns false (with *err describing the
+  // problem) on malformed JSON, a missing/unknown schema, or rows with
+  // negative counts; *out is untouched on failure.
+  static bool parse(const std::string& text, CostProfile* out,
+                    std::string* err);
+};
+
+}  // namespace sit::obs

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/costmodel.h"
+
 namespace sit::obs {
 
 namespace {
@@ -42,6 +44,15 @@ std::string MetricsSnapshot::to_json() const {
   o << "  \"trace_events\": " << trace_events << ",\n";
   o << "  \"trace_dropped\": " << trace_dropped << ",\n";
 
+  o << "  \"cost_model\": {\"source\": \"" << escape(cost_source)
+    << "\", \"profile\": \"" << escape(cost_profile) << "\", \"divergence\": {";
+  for (std::size_t i = 0; i < cost_divergence.size(); ++i) {
+    o << "\"" << escape(cost_divergence[i].first)
+      << "\": " << cost_divergence[i].second
+      << (i + 1 < cost_divergence.size() ? ", " : "");
+  }
+  o << "}},\n";
+
   o << "  \"pipeline\": \"" << escape(pipeline) << "\",\n";
   o << "  \"passes\": [\n";
   for (std::size_t i = 0; i < passes.size(); ++i) {
@@ -53,6 +64,8 @@ std::string MetricsSnapshot::to_json() const {
       << ", \"edges_after\": " << p.edges_after
       << ", \"cost_before\": " << p.cost_before
       << ", \"cost_after\": " << p.cost_after
+      << ", \"mcost_before\": " << p.mcost_before
+      << ", \"mcost_after\": " << p.mcost_after
       << ", \"changed\": " << (p.changed ? "true" : "false") << "}"
       << (i + 1 < passes.size() ? "," : "") << "\n";
   }
@@ -102,6 +115,20 @@ std::string MetricsSnapshot::to_json() const {
   o << "  ]\n";
   o << "}\n";
   return o.str();
+}
+
+void annotate_cost_model(MetricsSnapshot* m) {
+  const CostModel& cm = cost_model();
+  m->cost_source = cm.source();
+  m->cost_profile = cm.profile_path();
+  m->cost_divergence.clear();
+  if (!cm.calibrated()) return;
+  for (const ActorSnapshot& a : m->actors) {
+    double ratio = 0.0;
+    if (cm.divergence(a.name, &ratio)) {
+      m->cost_divergence.emplace_back(a.name, ratio);
+    }
+  }
 }
 
 }  // namespace sit::obs

@@ -57,6 +57,11 @@ struct PassSnapshot {
   int edges_after{-1};
   double cost_before{0};  // modeled cost per input item (linear/cost.h)
   double cost_after{0};
+  // Measured cost per input item under the active calibrated model
+  // (obs/costmodel.h): per-actor measured weights where the profile has
+  // them, static fallback elsewhere.  0 when no calibrated model is active.
+  double mcost_before{0};
+  double mcost_after{0};
   bool changed{false};
 };
 
@@ -96,6 +101,14 @@ struct MetricsSnapshot {
   std::string pipeline;
   std::vector<PassSnapshot> passes;
 
+  // Cost-model provenance and modeled-vs-measured divergence (filled by
+  // annotate_cost_model below): which model drove partitioning/selection
+  // ("static" or "calibrated"), where its profile came from, and the
+  // measured/modeled ratio per actor the profile covers.
+  std::string cost_source{"static"};
+  std::string cost_profile;  // profile path; empty when static
+  std::vector<std::pair<std::string, double>> cost_divergence;
+
   std::vector<ActorSnapshot> actors;
   std::vector<EdgeSnapshot> edges;
   std::vector<WorkerSnapshot> workers;
@@ -105,5 +118,12 @@ struct MetricsSnapshot {
 
   [[nodiscard]] std::string to_json() const;
 };
+
+// Stamp the active cost model (obs/costmodel.h) into a snapshot: source,
+// profile path, and per-actor divergence ratios for the snapshot's actors.
+// A no-op beyond defaults when the model is static.  The executors call this
+// at the end of metrics_snapshot() so every emitted snapshot records which
+// model was live.
+void annotate_cost_model(MetricsSnapshot* m);
 
 }  // namespace sit::obs

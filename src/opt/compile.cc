@@ -86,12 +86,24 @@ sched::CompiledProgram compile(const ir::NodeP& root,
 
 std::string pass_report(const sched::CompiledProgram& prog,
                         const std::vector<linear::RewriteRecord>* rewrites) {
+  // The measured column and the divergence ratio only mean something when a
+  // calibrated profile was loaded (any nonzero mcost implies it was).
+  bool calibrated = false;
+  for (const obs::PassSnapshot& p : prog.passes) {
+    calibrated = calibrated || p.mcost_before > 0 || p.mcost_after > 0;
+  }
+
   std::ostringstream os;
   os << "pipeline: " << (prog.pipeline.empty() ? "(none)" : prog.pipeline)
      << "\n";
+  os << "cost model: " << (calibrated ? "calibrated" : "static") << "\n";
   os << std::left << std::setw(16) << "pass" << std::right << std::setw(10)
      << "time(ms)" << std::setw(12) << "actors" << std::setw(12) << "edges"
-     << std::setw(22) << "cost/item" << std::setw(9) << "changed" << "\n";
+     << std::setw(22) << "modeled/item";
+  if (calibrated) {
+    os << std::setw(22) << "measured/item" << std::setw(9) << "diverge";
+  }
+  os << std::setw(9) << "changed" << "\n";
   for (const obs::PassSnapshot& p : prog.passes) {
     os << std::left << std::setw(16) << p.name << std::right;
     os << std::setw(10) << std::fixed << std::setprecision(3)
@@ -102,6 +114,21 @@ std::string pass_report(const sched::CompiledProgram& prog,
     cost << std::fixed << std::setprecision(1) << p.cost_before << " -> "
          << p.cost_after;
     os << std::setw(22) << cost.str();
+    if (calibrated) {
+      std::ostringstream mcost;
+      mcost << std::fixed << std::setprecision(1) << p.mcost_before << " -> "
+            << p.mcost_after;
+      os << std::setw(22) << mcost.str();
+      // Divergence of the post-pass graph: measured / modeled cost per item.
+      std::ostringstream div;
+      if (p.cost_after > 0 && p.mcost_after > 0) {
+        div << std::fixed << std::setprecision(2)
+            << p.mcost_after / p.cost_after << "x";
+      } else {
+        div << "?";
+      }
+      os << std::setw(9) << div.str();
+    }
     os << std::setw(9) << (p.changed ? "yes" : "-") << "\n";
   }
   if (!prog.passes.empty()) {
@@ -114,6 +141,16 @@ std::string pass_report(const sched::CompiledProgram& prog,
          << "% reduction)";
     }
     os << "\n";
+    if (calibrated) {
+      const double m0 = prog.passes.front().mcost_before;
+      const double m1 = prog.passes.back().mcost_after;
+      os << std::setprecision(1) << "measured cost/item: " << m0 << " -> "
+         << m1;
+      if (c1 > 0 && m1 > 0) {
+        os << std::setprecision(2) << "  (divergence " << (m1 / c1) << "x)";
+      }
+      os << "\n";
+    }
   }
   if (rewrites != nullptr && !rewrites->empty()) {
     os << "optimization decisions:\n";

@@ -6,6 +6,7 @@
 
 #include "analysis/verify.h"
 #include "linear/cost.h"
+#include "obs/costmodel.h"
 #include "runtime/flatgraph.h"
 #include "sched/envopts.h"
 
@@ -20,6 +21,9 @@ struct Shape {
   int actors{-1};
   int edges{-1};
   double cost{0.0};
+  // Measured (calibrated-model) cost per input item; 0 when no profile is
+  // loaded, so reports can distinguish "static run" from "no divergence".
+  double mcost{0.0};
 };
 
 Shape measure(const ir::NodeP& g, const PassContext& ctx) {
@@ -31,6 +35,8 @@ Shape measure(const ir::NodeP& g, const PassContext& ctx) {
     const linear::NodeCost nc = linear::node_cost(g);
     const double raw =
         nc.ops_per_ss + ctx.options.linear.sync_weight * nc.sync_per_ss;
+    const double mraw =
+        nc.meas_ops_per_ss + ctx.options.linear.sync_weight * nc.sync_per_ss;
     // Normalize by items *entering* the graph per steady state (external
     // input plus pure-source emissions).  NodeCost::per_item falls back to
     // the raw per-steady cost on closed source-to-sink graphs, which is not
@@ -47,6 +53,9 @@ Shape measure(const ir::NodeP& g, const PassContext& ctx) {
     }
     if (items <= 0) items = static_cast<double>(sc.output_per_steady);
     s.cost = items > 0 ? raw / items : raw;
+    if (obs::cost_model().calibrated()) {
+      s.mcost = items > 0 ? mraw / items : mraw;
+    }
   } catch (const std::exception&) {
   }
   return s;
@@ -168,10 +177,12 @@ ir::NodeP PassManager::run(const ir::NodeP& root,
     snap.actors_before = before.actors;
     snap.edges_before = before.edges;
     snap.cost_before = before.cost;
+    snap.mcost_before = before.mcost;
     const Shape after = res.changed ? measure(res.graph, ctx) : before;
     snap.actors_after = after.actors;
     snap.edges_after = after.edges;
     snap.cost_after = after.cost;
+    snap.mcost_after = after.mcost;
     snap.changed = res.changed;
     ctx.stats.push_back(snap);
     if (ctx.on_pass) ctx.on_pass(ctx.stats.back(), res.graph);

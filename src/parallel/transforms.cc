@@ -376,15 +376,20 @@ NodeP coarsen_stateless(const NodeP& root) {
 
 namespace {
 
-// Work (cycles) of each leaf per *global* steady state of `root`.
+// Work (cycles) of each leaf per *global* steady state of `root`.  Weights
+// come from the calibrated cost model when one is loaded (matched by flat
+// actor name, static estimate as fallback), so the fusion ordering and the
+// fission gate below both follow measured costs once a profile is active.
 std::map<const Node*, double> global_leaf_work(const NodeP& root) {
   const runtime::FlatGraph g = runtime::flatten(root);
   const sched::Schedule s = sched::make_schedule(g);
   std::map<const Node*, double> w;
   for (std::size_t i = 0; i < g.actors.size(); ++i) {
     if (g.actors[i].is_filter()) {
-      w[g.actors[i].node] = static_cast<double>(s.reps[i]) *
-                            linear::leaf_ops_per_firing(*g.actors[i].node);
+      w[g.actors[i].node] =
+          static_cast<double>(s.reps[i]) *
+          linear::calibrated_ops_per_firing(*g.actors[i].node,
+                                            g.actors[i].name);
     }
   }
   return w;

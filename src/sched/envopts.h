@@ -19,6 +19,12 @@
 //                                        pipeline / after every pass
 //                                        (default off)
 //
+// One deliberate exception: SIT_COST (a cost-profile path for the
+// calibrated cost model) is resolved lazily by obs::cost_model()
+// (obs/costmodel.h) -- sched depends on obs, not the other way around, and
+// the model must also serve consumers that never touch the runtime
+// (linear selection, the coarsen pass).
+//
 // resolve_exec_options() snapshots all of them at once; the field-level
 // env_*() helpers back the sched::resolve_* merge functions (which combine a
 // caller-requested value with the environment default) so both views share

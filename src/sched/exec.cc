@@ -444,6 +444,15 @@ obs::MetricsSnapshot Executor::metrics_snapshot() const {
       a.wall_ns = fs.wall_ns;
       a.max_ns = fs.max_ns;
       a.hist.assign(fs.hist.begin(), fs.hist.end());
+      // With op counting off this executor has no calibration epoch (only
+      // the threaded runtime runs one), which used to leave calib_cycles at
+      // zero and made sequential profiles useless for calibration.  Measured
+      // wall time is the better cost anyway: surface it (ns-as-cycles) so
+      // the partitioners' cost column and streamprof --calibrate both work
+      // under the sequential engines.
+      if (a.calib_cycles <= 0 && fs.wall_ns > 0) {
+        a.calib_cycles = static_cast<double>(fs.wall_ns);
+      }
     }
     m.actors.push_back(std::move(a));
   }
@@ -477,6 +486,7 @@ obs::MetricsSnapshot Executor::metrics_snapshot() const {
     m.trace_events = rec_->total_events();
     m.trace_dropped = rec_->total_dropped();
   }
+  obs::annotate_cost_model(&m);
   return m;
 }
 

@@ -10,6 +10,7 @@
 
 #include "analysis/analyze.h"
 #include "machine/machine.h"
+#include "obs/costmodel.h"
 #include "obs/trace.h"
 #include "runtime/compile.h"
 
@@ -560,8 +561,20 @@ void ThreadedExecutor::run_init() {
 void ThreadedExecutor::partition_and_migrate() {
   const std::size_t n = g_.actors.size();
   std::vector<double> cost(n, 0.0);
+  // Per-epoch actor cost for LPT: a calibrated model's measured weight
+  // (cycles per firing, scaled by this epoch's firing count) takes
+  // precedence over the in-process calibration epoch -- a corpus profile
+  // averages many more firings than the single epoch measured here.  Actors
+  // the profile does not cover keep the calibration-epoch cost.
+  const obs::CostModel& cmodel = obs::cost_model();
   for (std::size_t i = 0; i < n; ++i) {
-    cost[i] = (opts_.count_ops ? ops_[i] : calib_[i]).weighted();
+    double measured = 0.0;
+    if (cmodel.calibrated() &&
+        cmodel.measured_cycles_per_fire(g_.actors[i].name, &measured)) {
+      cost[i] = measured * static_cast<double>(sched_.reps[i]);
+    } else {
+      cost[i] = (opts_.count_ops ? ops_[i] : calib_[i]).weighted();
+    }
   }
 
   // Longest-processing-time greedy: heaviest actor to the least loaded
@@ -1053,6 +1066,7 @@ obs::MetricsSnapshot ThreadedExecutor::metrics_snapshot() const {
     m.trace_events = rec_->total_events();
     m.trace_dropped = rec_->total_dropped();
   }
+  obs::annotate_cost_model(&m);
   return m;
 }
 

@@ -3,7 +3,8 @@
 //
 //   streamc --app=NAME [-O0|-O1|-O2] [--passes=a,b,c] [--report]
 //           [--verify-each] [--dump-after=PASS] [--engine=vm|tree|fused]
-//           [--threads=N] [--steady=N] [--metrics=FILE] [--quiet]
+//           [--threads=N] [--steady=N] [--cost=FILE] [--metrics=FILE]
+//           [--quiet]
 //   streamc --list
 //   streamc --list-passes
 //
@@ -13,7 +14,10 @@
 // table (wall time, actor/edge counts before -> after, modeled cost delta)
 // plus every per-candidate optimization decision.  --verify-each runs the
 // semantic verifier (analysis/verify.h) after every pass; a failure names
-// the offending pass (equivalent to SIT_VERIFY=each).  --dump-after prints
+// the offending pass (equivalent to SIT_VERIFY=each).  --cost loads a
+// CostProfile (streamprof --calibrate output; equivalent to SIT_COST=FILE)
+// so partitioning and selection run on measured actor weights and --report
+// gains the measured/divergence columns.  --dump-after prints
 // the graph as it stands after the named pass.  The compiled artifact then
 // runs through ThreadedExecutor (one thread = embedded sequential executor),
 // so the same driver exercises every engine/thread combination.
@@ -28,6 +32,7 @@
 
 #include "apps/apps.h"
 #include "analysis/fuse.h"
+#include "obs/costmodel.h"
 #include "opt/compile.h"
 #include "runtime/fused.h"
 #include "sched/texec.h"
@@ -87,7 +92,7 @@ void usage(std::FILE* to) {
       "               [--verify-each] [--dump-after=PASS]\n"
       "               [--engine=vm|tree|fused]\n"
       "               [--threads=N] [--batch=N|auto] [--steady=N]\n"
-      "               [--metrics=FILE] [--quiet]\n"
+      "               [--cost=FILE] [--metrics=FILE] [--quiet]\n"
       "       streamc --list\n"
       "       streamc --list-passes\n");
 }
@@ -116,6 +121,7 @@ struct Args {
   int threads{0};      // 0 = SIT_THREADS
   int batch{0};        // 0 = SIT_BATCH, -1 = auto, >= 1 explicit
   int steady{16};
+  std::string cost_path;
   std::string metrics_path;
   bool report{false};
   bool verify_each{false};
@@ -186,6 +192,9 @@ bool parse_args(int argc, char** argv, Args* a) {
       if (!take()) return false;
       a->steady = std::atoi(val.c_str());
       if (a->steady < 1) return false;
+    } else if (arg == "--cost") {
+      if (!take()) return false;
+      a->cost_path = val;
     } else if (arg == "--metrics") {
       if (!take()) return false;
       a->metrics_path = val;
@@ -234,6 +243,14 @@ int main(int argc, char** argv) {
                  "(try --list-passes)\n",
                  args.dump_after.c_str());
     return 2;
+  }
+
+  if (!args.cost_path.empty()) {
+    std::string err;
+    if (!sit::obs::load_cost_model(args.cost_path, &err)) {
+      std::fprintf(stderr, "streamc: --cost: %s\n", err.c_str());
+      return 1;
+    }
   }
 
   sit::opt::CompileOptions copts;

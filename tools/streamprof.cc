@@ -1,8 +1,10 @@
 // streamprof: run a built-in app under any engine and report where the time
 // goes.
 //
-//   streamprof --app=Vocoder [--engine=vm|tree] [--threads=N] [--steady=N]
-//              [--trace=FILE] [--metrics=FILE] [--quiet]
+//   streamprof --app=Vocoder [--engine=vm|tree|fused] [--threads=N]
+//              [--steady=N] [--trace=FILE] [--metrics=FILE]
+//              [--calibrate=FILE] [--quiet]
+//   streamprof --calibrate-all=FILE [--steady=N] [--quiet]
 //   streamprof --list
 //   streamprof --validate FILE
 //
@@ -14,16 +16,40 @@
 // or chrome://tracing) and a metrics snapshot (--metrics).  Every emitted
 // trace is re-validated structurally before it is written; --validate runs
 // the same checker over an existing file, which is what CI uses.
+//
+// Exception: --engine=fused runs with tracing *off* -- the fused engine
+// refuses to build its whole-program trace under per-firing instrumentation
+// (there are no per-actor boundaries inside the trace), so a fused profile
+// reports the fused statics (superinstruction instances, eliminated
+// channels) instead of per-actor timing.
+//
+// --calibrate writes a CostProfile (obs/costprofile.h): per-actor measured
+// ns/firing joined with the static model's cycles/firing, the artifact
+// `streamc --cost=FILE` / SIT_COST load back to run partitioning and
+// selection on measured weights.  --calibrate-all profiles every built-in
+// app and merges the runs into one corpus profile stamped with host
+// metadata and the git SHA.  Both re-parse the file they wrote and fail
+// loudly if it does not validate.
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "apps/apps.h"
+#include "linear/cost.h"
+#include "obs/costprofile.h"
 #include "obs/export.h"
 #include "sched/texec.h"
 
@@ -32,9 +58,10 @@ namespace {
 void usage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: streamprof --app=NAME [--engine=vm|tree] [--threads=N]\n"
-      "                  [--steady=N] [--trace=FILE] [--metrics=FILE] "
-      "[--quiet]\n"
+      "usage: streamprof --app=NAME [--engine=vm|tree|fused] [--threads=N]\n"
+      "                  [--steady=N] [--trace=FILE] [--metrics=FILE]\n"
+      "                  [--calibrate=FILE] [--quiet]\n"
+      "       streamprof --calibrate-all=FILE [--steady=N] [--quiet]\n"
       "       streamprof --list\n"
       "       streamprof --validate FILE\n");
 }
@@ -80,12 +107,14 @@ int validate_file(const std::string& path) {
 
 struct Args {
   std::string app;
-  std::string engine;   // "", "vm", "tree"
+  std::string engine;   // "", "vm", "tree", "fused"
   int threads{0};       // 0 = SIT_THREADS
   int steady{32};
   std::string trace_path;
   std::string metrics_path;
   std::string validate_path;
+  std::string calibrate_path;      // single-app CostProfile
+  std::string calibrate_all_path;  // merged corpus over all apps
   bool list{false};
   bool quiet{false};
 };
@@ -116,7 +145,9 @@ bool parse_args(int argc, char** argv, Args* a) {
     } else if (arg == "--engine") {
       if (!take()) return false;
       a->engine = lower(val);
-      if (a->engine != "vm" && a->engine != "tree") return false;
+      if (a->engine != "vm" && a->engine != "tree" && a->engine != "fused") {
+        return false;
+      }
     } else if (arg == "--threads") {
       if (!take()) return false;
       a->threads = std::atoi(val.c_str());
@@ -133,11 +164,133 @@ bool parse_args(int argc, char** argv, Args* a) {
     } else if (arg == "--validate") {
       if (!take()) return false;
       a->validate_path = val;
+    } else if (arg == "--calibrate") {
+      if (!take()) return false;
+      a->calibrate_path = val;
+    } else if (arg == "--calibrate-all") {
+      if (!take()) return false;
+      a->calibrate_all_path = val;
     } else {
       return false;
     }
   }
   return true;
+}
+
+// ---- calibration ------------------------------------------------------------
+
+// Provenance for the corpus profile (mirrors bench_util.h, which tools/ does
+// not include to keep bench-only helpers out of the drivers).
+std::string profile_git_sha() {
+  if (const char* sha = std::getenv("GITHUB_SHA")) return sha;
+  char buf[64] = {};
+  std::string sha = "unknown";
+  if (FILE* p = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    if (fgets(buf, sizeof buf, p) != nullptr) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+      if (!s.empty()) sha = s;
+    }
+    pclose(p);
+  }
+  return sha;
+}
+
+std::string profile_hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  if (const char* h = std::getenv("HOSTNAME")) return h;
+  return "unknown";
+}
+
+// The static model's cycles-per-firing by flat actor name: the join key that
+// lets a loaded profile report measured-vs-modeled divergence per actor.
+std::map<std::string, double> static_model_map(const sit::runtime::FlatGraph& g) {
+  std::map<std::string, double> m;
+  for (const auto& a : g.actors) {
+    if (a.is_filter()) m[a.name] = sit::linear::leaf_ops_per_firing(*a.node);
+  }
+  return m;
+}
+
+// Run one app under the profiling configuration.  Tracing is forced on so
+// FiringStats capture per-actor wall time -- except under the fused engine,
+// whose whole-program trace refuses per-firing instrumentation.
+std::unique_ptr<sit::sched::ThreadedExecutor> run_app(
+    const sit::apps::AppInfo& app, const Args& args) {
+  sit::sched::ExecOptions opts;
+  opts.trace = args.engine == "fused" ? sit::sched::TraceMode::Off
+                                      : sit::sched::TraceMode::On;
+  opts.threads = args.threads;
+  if (args.engine == "vm") opts.engine = sit::sched::Engine::Vm;
+  if (args.engine == "tree") opts.engine = sit::sched::Engine::Tree;
+  if (args.engine == "fused") opts.engine = sit::sched::Engine::Fused;
+
+  auto tex = std::make_unique<sit::sched::ThreadedExecutor>(app.make(), opts);
+  if (tex->graph().input_edge >= 0) {
+    // Deterministic default feed for apps with an external input port.
+    tex->set_input_generator([](std::int64_t i) {
+      return static_cast<double>((i % 64) - 32) / 32.0;
+    });
+  }
+  tex->run_steady(args.steady);
+  return tex;
+}
+
+// Write the profile and re-parse it: a CostProfile that does not survive its
+// own round trip must never reach CI artifact storage.
+int write_profile(const sit::obs::CostProfile& profile, const std::string& path,
+                  bool quiet) {
+  const std::string text = profile.to_json();
+  {
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "streamprof: cannot write '%s'\n", path.c_str());
+      return 1;
+    }
+    f << text;
+  }
+  sit::obs::CostProfile back;
+  std::string err;
+  if (!sit::obs::CostProfile::parse(text, &back, &err)) {
+    std::fprintf(stderr,
+                 "streamprof: emitted profile failed validation: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("wrote %s (%zu actors, %zu apps, %.3f cycles/ns)\n",
+                path.c_str(), profile.actors.size(), profile.apps.size(),
+                profile.cycles_per_ns());
+  }
+  return 0;
+}
+
+// Profile every built-in app and merge the runs into one corpus profile.
+int calibrate_all(const Args& args) {
+  sit::obs::CostProfile corpus;
+  corpus.git_sha = profile_git_sha();
+  corpus.hostname = profile_hostname();
+  corpus.cpus = static_cast<int>(std::thread::hardware_concurrency());
+  for (const auto& app : sit::apps::all_apps()) {
+    auto tex = run_app(app, args);
+    sit::obs::MetricsSnapshot m = tex->metrics_snapshot();
+    m.app = app.name;
+    corpus.add_run(m, static_model_map(tex->graph()));
+    if (!args.quiet) {
+      std::printf("calibrated %-16s (%zu actors so far)\n", app.name.c_str(),
+                  corpus.actors.size());
+    }
+  }
+  if (corpus.actors.empty()) {
+    std::fprintf(stderr,
+                 "streamprof: no timed firings captured (SIT_OBS=OFF build?); "
+                 "refusing to write an empty profile\n");
+    return 1;
+  }
+  return write_profile(corpus, args.calibrate_all_path, args.quiet);
 }
 
 }  // namespace
@@ -155,6 +308,15 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!args.validate_path.empty()) return validate_file(args.validate_path);
+  if (args.engine == "fused" &&
+      (!args.calibrate_path.empty() || !args.calibrate_all_path.empty())) {
+    std::fprintf(stderr,
+                 "streamprof: --calibrate needs per-actor timing, which the "
+                 "fused trace has no boundaries for; use --engine=vm or "
+                 "--engine=tree\n");
+    return 2;
+  }
+  if (!args.calibrate_all_path.empty()) return calibrate_all(args);
   if (args.app.empty()) {
     usage(stderr);
     return 2;
@@ -168,20 +330,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  sit::sched::ExecOptions opts;
-  opts.trace = sit::sched::TraceMode::On;
-  opts.threads = args.threads;
-  if (args.engine == "vm") opts.engine = sit::sched::Engine::Vm;
-  if (args.engine == "tree") opts.engine = sit::sched::Engine::Tree;
-
-  sit::sched::ThreadedExecutor tex(app->make(), opts);
-  if (tex.graph().input_edge >= 0) {
-    // Deterministic default feed for apps with an external input port.
-    tex.set_input_generator([](std::int64_t i) {
-      return static_cast<double>((i % 64) - 32) / 32.0;
-    });
-  }
-  tex.run_steady(args.steady);
+  std::unique_ptr<sit::sched::ThreadedExecutor> texp = run_app(*app, args);
+  sit::sched::ThreadedExecutor& tex = *texp;
 
   sit::obs::MetricsSnapshot m = tex.metrics_snapshot();
   m.app = app->name;
@@ -189,6 +339,22 @@ int main(int argc, char** argv) {
   if (!args.quiet) {
     std::printf("%s: %s\n", app->name.c_str(), tex.report().to_string().c_str());
     std::fputs(sit::obs::profile_report(m).c_str(), stdout);
+  }
+
+  if (!args.calibrate_path.empty()) {
+    sit::obs::CostProfile profile;
+    profile.git_sha = profile_git_sha();
+    profile.hostname = profile_hostname();
+    profile.cpus = static_cast<int>(std::thread::hardware_concurrency());
+    profile.add_run(m, static_model_map(tex.graph()));
+    if (profile.actors.empty()) {
+      std::fprintf(stderr,
+                   "streamprof: no timed firings captured (SIT_OBS=OFF "
+                   "build?); refusing to write an empty profile\n");
+      return 1;
+    }
+    const int rc = write_profile(profile, args.calibrate_path, args.quiet);
+    if (rc != 0) return rc;
   }
 
   if (!args.metrics_path.empty()) {
@@ -202,6 +368,12 @@ int main(int argc, char** argv) {
   }
 
   if (!args.trace_path.empty()) {
+    if (args.engine == "fused") {
+      std::fprintf(stderr,
+                   "streamprof: --trace is unavailable under --engine=fused "
+                   "(the fused trace runs without per-firing events)\n");
+      return 1;
+    }
     const sit::obs::Recorder* rec = tex.recorder();
     if (rec == nullptr) {
       std::fprintf(stderr, "streamprof: tracing compiled out (SIT_OBS=OFF)\n");

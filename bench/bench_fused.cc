@@ -4,7 +4,7 @@
 //
 //   bench_fused [--smoke] [--gate=<threshold-file>] [--out=BENCH_fused.json]
 //
-// For each app (FIR, Vocoder, FilterBank) we measure four implementations of
+// For each app (FIR, Vocoder, FilterBank) we measure five implementations of
 // the same computation:
 //
 //   handwritten  plain C++ loop nests over flat arrays -- same LCG source,
@@ -16,18 +16,27 @@
 //   tree         sequential Executor, tree-walking interpreter
 //   vm           sequential Executor, per-actor bytecode VM
 //   fused        sequential Executor, whole-program fused trace with
-//                superinstructions (the tentpole under test)
+//                superinstructions, tagged registers (SIT_TYPED=0)
+//   typed        the fused trace lowered onto the dual-plane (unboxed
+//                double) register file where type inference proves it safe
+//                (SIT_TYPED=1, the default)
+//
+// tree/vm/fused pin typed mode off so their numbers stay comparable with
+// history; the typed row is the same trace with only the value plane
+// changed, so typed/fused isolates the unboxing win.
 //
 // Throughput is items emitted by the source actor per second, the same
 // normalization as bench_scaling.  Results land in BENCH_fused.json
 // (bench_util stamps git SHA / host provenance); the embedded metrics
-// snapshot is the fused FIR run, so the JSON also records which
-// superinstructions were selected and how many channels were lowered.
+// snapshot is the typed fused FIR run, so the JSON also records which
+// superinstructions were selected, how many channels were lowered, and the
+// typed_actors / typed_regs / typed_channels specialization counters.
 //
-// --gate reads a minimum fused/vm throughput ratio on FIR from a checked-in
-// threshold file (bench/fused_gate.txt) and exits nonzero when the fused
-// engine regresses below it.  The gate self-skips (exit 0, with a notice)
-// on sanitizer builds -- instrumentation swamps dispatch cost -- and on
+// --gate reads thresholds from a checked-in file (bench/fused_gate.txt):
+// the first number is the minimum fused/vm throughput ratio on FIR, an
+// optional second number the minimum typed/fused ratio.  Exit is nonzero
+// when either regresses.  The gate self-skips (exit 0, with a notice) on
+// sanitizer builds -- instrumentation swamps dispatch cost -- and on
 // single-cpu hosts where timer noise dominates.
 
 #include <algorithm>
@@ -252,18 +261,25 @@ double handwritten_rate(Kernel&& kernel, std::int64_t units, std::int64_t items_
   return ms > 0 ? 1000.0 * calls * units * items_per_unit / ms : 0.0;
 }
 
-double read_threshold(const std::string& path) {
+// All numbers in the file, in order (comments stripped).  The first is the
+// fused/vm floor, an optional second the typed/fused floor.
+std::vector<double> read_thresholds(const std::string& path) {
+  std::vector<double> out;
   std::ifstream f(path);
-  if (!f) return -1.0;
+  if (!f) return out;
   std::string line;
   while (std::getline(f, line)) {
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
+    const char* p = line.c_str();
     char* end = nullptr;
-    const double v = std::strtod(line.c_str(), &end);
-    if (end != line.c_str()) return v;
+    for (double v = std::strtod(p, &end); end != p;
+         v = std::strtod(p, &end)) {
+      out.push_back(v);
+      p = end;
+    }
   }
-  return -1.0;
+  return out;
 }
 
 struct BenchApp {
@@ -310,16 +326,20 @@ int main(int argc, char** argv) {
   const struct {
     const char* name;
     sit::sched::Engine engine;
+    sit::sched::TypedMode typed;
   } engines[] = {
-      {"tree", sit::sched::Engine::Tree},
-      {"vm", sit::sched::Engine::Vm},
-      {"fused", sit::sched::Engine::Fused},
+      {"tree", sit::sched::Engine::Tree, sit::sched::TypedMode::Off},
+      {"vm", sit::sched::Engine::Vm, sit::sched::TypedMode::Off},
+      {"fused", sit::sched::Engine::Fused, sit::sched::TypedMode::Off},
+      {"typed", sit::sched::Engine::Fused, sit::sched::TypedMode::On},
   };
+  constexpr int kEngines = 4;
 
   std::vector<sit::bench::BenchRecord> records;
   sit::obs::MetricsSnapshot metrics;
   bool have_metrics = false;
   double fir_fused_over_vm = -1.0;
+  double fir_typed_over_fused = -1.0;
 
   std::printf("%-12s %-12s %14s %8s %8s\n", "app", "engine", "items/s",
               "vs-vm", "vs-hand");
@@ -327,23 +347,32 @@ int main(int argc, char** argv) {
   for (const auto& b : benches) {
     const double hand = handwritten_rate(b.handwritten, b.units,
                                          b.items_per_unit, min_ms, max_batches);
-    double rates[3] = {0, 0, 0};
-    for (int e = 0; e < 3; ++e) {
+    double rates[kEngines] = {0, 0, 0, 0};
+    int typed_regs = 0;
+    int typed_channels = 0;
+    for (int e = 0; e < kEngines; ++e) {
       sit::sched::ExecOptions opts;
       opts.count_ops = false;
       opts.engine = engines[e].engine;
+      opts.typed = engines[e].typed;
       sit::sched::Executor ex(b.make(), opts);
       const std::int64_t items =
           source_items_per_steady(ex.graph(), ex.schedule());
       ex.run_steady(warm);
       rates[e] = steadies_per_sec(ex, batch, min_ms, max_batches) *
                  static_cast<double>(items);
-      if (engines[e].engine == sit::sched::Engine::Fused && !have_metrics) {
-        // First fused run (FIR): carries fused_super / fused_channels, the
-        // superinstruction provenance for the JSON.
-        metrics = ex.metrics_snapshot();
-        metrics.app = b.name;
-        have_metrics = true;
+      if (engines[e].typed == sit::sched::TypedMode::On) {
+        const sit::obs::MetricsSnapshot snap = ex.metrics_snapshot();
+        typed_regs = snap.typed_regs;
+        typed_channels = snap.typed_channels;
+        if (!have_metrics) {
+          // First typed fused run (FIR): carries fused_super /
+          // fused_channels plus the typed specialization counters, the
+          // provenance for the JSON.
+          metrics = snap;
+          metrics.app = b.name;
+          have_metrics = true;
+        }
       }
     }
     const double vm = rates[1];
@@ -353,18 +382,27 @@ int main(int argc, char** argv) {
                        {{"items_per_sec", hand},
                         {"vs_vm", vm > 0 ? hand / vm : 0.0},
                         {"vs_handwritten", 1.0}}});
-    for (int e = 0; e < 3; ++e) {
+    for (int e = 0; e < kEngines; ++e) {
       const double vs_vm = vm > 0 ? rates[e] / vm : 0.0;
       const double vs_hand = hand > 0 ? rates[e] / hand : 0.0;
       std::printf("%-12s %-12s %14.0f %8.2f %8.2f\n", b.name, engines[e].name,
                   rates[e], vs_vm, vs_hand);
-      records.push_back({std::string(b.name) + "/" + engines[e].name,
-                         {{"items_per_sec", rates[e]},
-                          {"vs_vm", vs_vm},
-                          {"vs_handwritten", vs_hand}}});
-      if (std::strcmp(b.name, "FIR") == 0 &&
-          engines[e].engine == sit::sched::Engine::Fused) {
-        fir_fused_over_vm = vs_vm;
+      sit::bench::BenchRecord rec{std::string(b.name) + "/" + engines[e].name,
+                                  {{"items_per_sec", rates[e]},
+                                   {"vs_vm", vs_vm},
+                                   {"vs_handwritten", vs_hand}}};
+      if (engines[e].typed == sit::sched::TypedMode::On) {
+        rec.metrics.emplace_back("typed_regs", typed_regs);
+        rec.metrics.emplace_back("typed_channels", typed_channels);
+      }
+      records.push_back(std::move(rec));
+      if (std::strcmp(b.name, "FIR") == 0) {
+        if (std::strcmp(engines[e].name, "fused") == 0) {
+          fir_fused_over_vm = vs_vm;
+        } else if (std::strcmp(engines[e].name, "typed") == 0 &&
+                   rates[2] > 0) {
+          fir_typed_over_fused = rates[e] / rates[2];
+        }
       }
     }
     sit::bench::rule(60);
@@ -389,15 +427,21 @@ int main(int argc, char** argv) {
       std::printf("gate: skipped -- single-cpu host, timer noise dominates\n");
       return 0;
     }
-    const double threshold = read_threshold(gate_file);
-    if (threshold <= 0.0) {
+    const std::vector<double> thresholds = read_thresholds(gate_file);
+    if (thresholds.empty() || thresholds[0] <= 0.0) {
       std::fprintf(stderr, "gate: unreadable threshold file %s\n",
                    gate_file.c_str());
       return 2;
     }
-    const bool pass = fir_fused_over_vm >= threshold;
+    bool pass = fir_fused_over_vm >= thresholds[0];
     std::printf("gate: FIR fused/vm = %.2f (>= %.2f) %s\n", fir_fused_over_vm,
-                threshold, pass ? "ok" : "FAIL");
+                thresholds[0], pass ? "ok" : "FAIL");
+    if (thresholds.size() > 1 && thresholds[1] > 0.0) {
+      const bool tpass = fir_typed_over_fused >= thresholds[1];
+      std::printf("gate: FIR typed/fused = %.2f (>= %.2f) %s\n",
+                  fir_typed_over_fused, thresholds[1], tpass ? "ok" : "FAIL");
+      pass = pass && tpass;
+    }
     if (!pass) {
       std::fprintf(stderr, "gate: fused engine regressed below %s\n",
                    gate_file.c_str());

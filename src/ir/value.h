@@ -20,7 +20,12 @@ class Value {
   Value(std::int64_t i) : v_(i) {}  // NOLINT(google-explicit-constructor)
   Value(int i) : v_(std::int64_t{i}) {}  // NOLINT
   Value(double d) : v_(d) {}  // NOLINT
-  Value(bool b) : v_(std::int64_t{b ? 1 : 0}) {}  // NOLINT
+  // Canonical tag for boolean results: every comparison (Lt/Le/Gt/Ge/Eq/Ne),
+  // logic op (LAnd/LOr/LNot) and truthiness test produces an *Int* 0/1.
+  // The typeflow lattice (runtime/typed.h) relies on this: a register written
+  // by a comparison is statically Int, never Double.  Explicit so a bool can
+  // not silently widen through an implicit conversion chain.
+  explicit Value(bool b) : v_(std::int64_t{b ? 1 : 0}) {}
 
   [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
 

@@ -41,6 +41,11 @@ std::string MetricsSnapshot::to_json() const {
     }
     o << "},\n";
   }
+  if (typed_actors >= 0) {
+    o << "  \"typed_actors\": " << typed_actors << ",\n";
+    o << "  \"typed_regs\": " << typed_regs << ",\n";
+    o << "  \"typed_channels\": " << typed_channels << ",\n";
+  }
   o << "  \"trace_events\": " << trace_events << ",\n";
   o << "  \"trace_dropped\": " << trace_dropped << ",\n";
 
@@ -81,6 +86,10 @@ std::string MetricsSnapshot::to_json() const {
       << ", \"flops\": " << a.ops.flops << ", \"divs\": " << a.ops.divs
       << ", \"trans\": " << a.ops.trans << ", \"mem\": " << a.ops.mem
       << ", \"channel\": " << a.ops.channel << "}";
+    if (!a.typed_status.empty()) {
+      o << ", \"typed\": \"" << escape(a.typed_status)
+        << "\", \"typed_regs\": " << a.typed_regs;
+    }
     if (!a.hist.empty()) {
       o << ", \"hist_ns_log2\": [";
       for (std::size_t b = 0; b < a.hist.size(); ++b) {
@@ -99,8 +108,9 @@ std::string MetricsSnapshot::to_json() const {
       << ", \"dst\": " << e.dst << ", \"pushed\": " << e.pushed
       << ", \"popped\": " << e.popped << ", \"peak_items\": " << e.peak_items
       << ", \"bound_items\": " << e.bound_items
-      << ", \"ring\": " << (e.ring ? "true" : "false") << "}"
-      << (i + 1 < edges.size() ? "," : "") << "\n";
+      << ", \"ring\": " << (e.ring ? "true" : "false");
+    if (!e.content.empty()) o << ", \"content\": \"" << escape(e.content) << "\"";
+    o << "}" << (i + 1 < edges.size() ? "," : "") << "\n";
   }
   o << "  ],\n";
 

@@ -29,6 +29,12 @@ struct ActorSnapshot {
   std::int64_t wall_ns{0};
   std::int64_t max_ns{0};
   std::vector<std::int64_t> hist;  // log2 ns-per-firing buckets
+  // Typed (dual-plane) specialization status: "typed" when the actor's work
+  // runs on the unboxed register file, the stable refusal reason when
+  // inference refused, empty when the actor was never a candidate
+  // (non-filter, tree fallback, or SIT_TYPED=0).
+  std::string typed_status;
+  int typed_regs{0};  // registers proven Double everywhere (0 when tagged)
 };
 
 struct EdgeSnapshot {
@@ -42,6 +48,11 @@ struct EdgeSnapshot {
                                 // channel_bounds); -1 = unbounded boundary
                                 // edge or bound unavailable
   bool ring{false};             // migrated to an SPSC ring
+  // Static content tag of the items this edge carries ("int" = provably
+  // integer-valued, "double" = not provably integral, empty = typeflow did
+  // not run).  Channels physically store double either way; the tag is the
+  // typed-dataflow certificate.
+  std::string content;
 };
 
 // One compilation-pipeline pass as run by the opt::PassManager: wall time
@@ -94,6 +105,14 @@ struct MetricsSnapshot {
   // the number of internal channels lowered to trace buffers.
   std::vector<std::pair<std::string, std::int64_t>> fused_super;
   int fused_channels{-1};  // -1 = not running a fused trace
+
+  // Typed-dataflow specialization counters (-1 = typed mode off or not
+  // surveyed): actors running on the dual-plane register file, their total
+  // Double-proven registers, and edges whose content tag is statically
+  // known Double.
+  int typed_actors{-1};
+  int typed_regs{-1};
+  int typed_channels{-1};
 
   // Compilation provenance: the pass pipeline that produced the executed
   // graph (comma-joined spec; empty when the executor was built from a raw

@@ -11,6 +11,7 @@
 #include "analysis/analyze.h"
 #include "analysis/constprop.h"
 #include "analysis/fuse.h"
+#include "analysis/typeflow.h"
 #include "analysis/verify.h"
 #include "ir/ast.h"
 #include "ir/validate.h"
@@ -339,6 +340,56 @@ class FuseSteadyPass final : public Pass {
   }
 };
 
+// ---- typed dataflow ---------------------------------------------------------
+
+// Report-only: runs the whole-graph typed-dataflow analysis
+// (analysis/typeflow.h) and records, per filter, whether the dual-plane
+// (unboxed double) specialization is provable -- and the stable refusal
+// reason when it is not -- plus the channel content-tag tally.  As with
+// fuse-steady, the rewrite itself happens at executor construction
+// (SIT_TYPED): the typed register file is an execution artifact, so the
+// graph passes stay engine-independent.
+class TypeflowPass final : public Pass {
+ public:
+  const char* name() const override { return "typeflow"; }
+  const char* description() const override {
+    return "static tag inference: per-actor register/state classes + channel "
+           "content tags (reporting only; no rewrite)";
+  }
+  PassResult run(const NodeP& root, PassContext& ctx) override {
+    linear::RewriteRecord rec;
+    rec.pass = "typeflow";
+    rec.site = "graph";
+    try {
+      const runtime::FlatGraph g = runtime::flatten(root);
+      const analysis::TypeflowResult tf = analysis::typeflow(g);
+      rec.applied = tf.typed_actors > 0;
+      rec.note = std::to_string(tf.typed_actors) + "/" +
+                 std::to_string(tf.candidates) + " filter(s) specialized, " +
+                 std::to_string(tf.typed_regs) + " double register(s), " +
+                 std::to_string(tf.typed_channels) + " double channel(s), " +
+                 std::to_string(tf.int_channels) + " int channel(s)";
+      ctx.rewrites.push_back(std::move(rec));
+      for (const auto& a : tf.actors) {
+        if (!a.is_filter) continue;
+        linear::RewriteRecord ar;
+        ar.pass = "typeflow";
+        ar.site = "actor:" + a.name;
+        ar.applied = a.specialized;
+        ar.note = a.specialized
+                      ? std::to_string(a.typed_regs) + " double reg(s), push " +
+                            runtime::tag_name(a.push_tag)
+                      : a.refusal;
+        ctx.rewrites.push_back(std::move(ar));
+      }
+    } catch (const std::exception& e) {
+      rec.note = std::string("typeflow analysis failed (") + e.what() + ")";
+      ctx.rewrites.push_back(std::move(rec));
+    }
+    return {root, false};
+  }
+};
+
 }  // namespace
 
 namespace detail {
@@ -356,6 +407,7 @@ void register_builtins(PassManager& pm) {
   pm.register_pass(std::make_unique<ThreadedPrepPass>());
   pm.register_pass(std::make_unique<CoarsenPass>());
   pm.register_pass(std::make_unique<FuseSteadyPass>());
+  pm.register_pass(std::make_unique<TypeflowPass>());
 }
 
 }  // namespace detail

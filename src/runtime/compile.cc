@@ -1,6 +1,8 @@
 #include "runtime/compile.h"
 
 #include <cstring>
+
+#include "runtime/typed.h"
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -491,6 +493,91 @@ CompiledFilterP compile_filter(const ir::FilterSpec& spec, std::string* reason) 
     if (reason) *reason = u.reason;
     return nullptr;
   }
+}
+
+TypedFilterP typed_compile(const ir::FilterSpec& spec,
+                           const CompiledFilterP& base,
+                           const FilterState& state, std::string* reason) {
+  if (!base) return nullptr;
+  // Teleport handlers may retag any state slot between firings, which would
+  // invalidate the inferred classes; Send argument marshaling builds Values
+  // from mixed registers.  Both stay on the tagged path.
+  if (!spec.handlers.empty()) {
+    if (reason) *reason = "has-handlers";
+    return nullptr;
+  }
+  if (!base->work.sends.empty()) {
+    if (reason) *reason = "teleport-send";
+    return nullptr;
+  }
+
+  // Re-express the VM program as the fused instruction set so typed_lower
+  // sees one vocabulary.  The translation is 1:1 (indices and jump targets
+  // carry over unchanged); only the channel ops are renamed.
+  std::vector<FInstr> code;
+  code.reserve(base->work.code.size());
+  for (const VmInstr& v : base->work.code) {
+    FInstr f;
+    f.sub = v.sub;
+    f.count = v.count;
+    f.dst = v.dst;
+    f.a = v.a;
+    f.b = v.b;
+    f.jump = v.jump;
+    switch (v.op) {
+      case VmOp::Move: f.op = FOp::Move; break;
+      case VmOp::LoadScalar: f.op = FOp::LoadScalar; break;
+      case VmOp::StoreScalar: f.op = FOp::StoreScalar; break;
+      case VmOp::LoadElem: f.op = FOp::LoadElem; break;
+      case VmOp::StoreElem: f.op = FOp::StoreElem; break;
+      case VmOp::Peek: f.op = FOp::RPeek; break;
+      case VmOp::Pop: f.op = FOp::RPop; break;
+      case VmOp::PopN: f.op = FOp::RPopN; break;
+      case VmOp::Push: f.op = FOp::RPush; break;
+      case VmOp::Bin: f.op = FOp::Bin; break;
+      case VmOp::Un: f.op = FOp::Un; break;
+      case VmOp::Truthy: f.op = FOp::Truthy; break;
+      case VmOp::Jmp: f.op = FOp::Jmp; break;
+      case VmOp::JmpIfFalse: f.op = FOp::JmpIfFalse; break;
+      case VmOp::JmpIfTrue: f.op = FOp::JmpIfTrue; break;
+      case VmOp::JmpIfGe: f.op = FOp::JmpIfGe; break;
+      case VmOp::CheckStep: f.op = FOp::CheckStep; break;
+      case VmOp::ForInc: f.op = FOp::ForInc; break;
+      case VmOp::Tally: f.op = FOp::Tally; break;
+      case VmOp::Halt: f.op = FOp::Halt; break;
+      case VmOp::Send:
+        if (reason) *reason = "teleport-send";
+        return nullptr;
+    }
+    code.push_back(f);
+  }
+
+  TypedLowerInput in;
+  in.code = &code;
+  in.num_regs = base->work.reg_init.size();
+  in.reg_init = base->work.reg_init;
+  in.scalar_names = &base->scalar_slots;
+  in.array_names = &base->array_slots;
+  in.loop = false;  // VM registers are re-templated every firing
+  // Seed state classes from the *current* (post-init) tags: init has already
+  // run by the time specialization happens, so the bound state's tags are
+  // the ground truth the classes must be consistent with.
+  in.scalar_seed.reserve(base->scalar_slots.size());
+  for (const auto& name : base->scalar_slots) {
+    in.scalar_seed.push_back(value_tag(state.scalars.at(name)));
+  }
+  in.array_seed.reserve(base->array_slots.size());
+  for (const auto& name : base->array_slots) {
+    const auto& arr = state.arrays.at(name);
+    Tag t = arr.empty() ? Tag::Int : value_tag(arr.front());
+    for (const auto& v : arr) t = join_tag(t, value_tag(v));
+    in.array_seed.push_back(t);
+  }
+
+  auto out = std::make_shared<TypedFilter>();
+  out->base = base;
+  if (!typed_lower(in, &out->work, reason)) return nullptr;
+  return out;
 }
 
 }  // namespace sit::runtime

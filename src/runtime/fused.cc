@@ -6,6 +6,7 @@
 
 #include "runtime/compile.h"
 #include "runtime/eval_ops.h"
+#include "runtime/typed.h"
 
 namespace sit::runtime {
 
@@ -1370,6 +1371,766 @@ std::string FusedProgram::disassemble() const {
     out += "\n";
   }
   return out;
+}
+
+// ---- typed (dual-plane) fused execution -------------------------------------
+//
+// TypedFusedExec mirrors FusedExec instruction for instruction: the same
+// activation protocol, the same op counting, the same error strings thrown in
+// the same order.  The differences are what typeflow proved safe: registers
+// and (for the duration of an activation) filter state live in raw planes,
+// CountTag::ByResult is pre-resolved, and the mac-loop superinstruction runs
+// as a raw double* kernel when a hoisted precheck shows no per-element check
+// can fire.
+
+TypedFusedProgramP build_typed_fused(const FusedProgramP& base,
+                                     const std::vector<FilterState>& states,
+                                     std::string* refusal) {
+  if (!base) return nullptr;
+  TypedLowerInput in;
+  in.code = &base->code;
+  in.num_regs = base->num_regs;
+  in.scalar_names = &base->scalar_names;
+  in.array_names = &base->array_names;
+  in.fused = base.get();
+  in.loop = true;  // fused registers persist across iterations
+  // Seed the state classes from the current (post-init) tags, per actor.
+  in.scalar_seed.assign(base->scalar_names.size(), Tag::Int);
+  in.array_seed.assign(base->array_names.size(), Tag::Int);
+  for (std::size_t i = 0; i < base->actors.size(); ++i) {
+    const FusedActorMeta& m = base->actors[i];
+    const FilterState& st = states[i];
+    for (std::uint32_t k = 0; k < m.num_scalars; ++k) {
+      const std::string& name = base->scalar_names[m.scalar_base + k];
+      auto it = st.scalars.find(name);
+      if (it == st.scalars.end()) {
+        if (refusal) *refusal = "unbound-state:" + m.name + "." + name;
+        return nullptr;
+      }
+      in.scalar_seed[m.scalar_base + k] = value_tag(it->second);
+    }
+    for (std::uint32_t k = 0; k < m.num_arrays; ++k) {
+      const std::string& name = base->array_names[m.array_base + k];
+      auto it = st.arrays.find(name);
+      if (it == st.arrays.end()) {
+        if (refusal) *refusal = "unbound-state:" + m.name + "." + name;
+        return nullptr;
+      }
+      Tag t = it->second.empty() ? Tag::Int : value_tag(it->second.front());
+      for (const auto& v : it->second) t = join_tag(t, value_tag(v));
+      in.array_seed[m.array_base + k] = t;
+    }
+  }
+
+  auto out = std::make_shared<TypedFusedProgram>();
+  out->base = base;
+  if (!typed_lower(in, &out->code, refusal)) return nullptr;
+  return out;
+}
+
+// Uncounted tape adapters over a lowered edge for NativeFire, twins of
+// FusedExec's (native filters count statically).
+class TypedFusedExec::BufIn final : public ir::InTape {
+ public:
+  explicit BufIn(EdgeState& s) : s_(s) {}
+  double peek_item(int offset) override {
+    if (offset < 0 || s_.rd + static_cast<std::size_t>(offset) >= s_.wr) {
+      buffer_peek_error(offset, s_.wr - s_.rd);
+    }
+    return s_.buf[s_.rd + static_cast<std::size_t>(offset)];
+  }
+  double pop_item() override {
+    if (s_.rd >= s_.wr) throw std::runtime_error("pop from empty channel");
+    return s_.buf[s_.rd++];
+  }
+  void pop_many(int n) override {
+    if (n <= 0) return;
+    if (s_.rd + static_cast<std::size_t>(n) > s_.wr) {
+      throw std::runtime_error("pop from empty channel");
+    }
+    s_.rd += static_cast<std::size_t>(n);
+  }
+
+ private:
+  EdgeState& s_;
+};
+
+class TypedFusedExec::BufOut final : public ir::OutTape {
+ public:
+  explicit BufOut(EdgeState& s) : s_(s) {}
+  void push_item(double v) override {
+    if (s_.wr >= s_.buf.size()) {
+      throw std::logic_error("fused trace buffer overflow");
+    }
+    s_.buf[s_.wr++] = v;
+  }
+
+ private:
+  EdgeState& s_;
+};
+
+TypedFusedExec::TypedFusedExec(
+    TypedFusedProgramP prog, std::vector<FilterState>& states,
+    const std::vector<std::unique_ptr<Channel>>& chans,
+    const std::vector<std::unique_ptr<ir::NativeState>>& nstates)
+    : prog_(std::move(prog)) {
+  const FusedProgram& base = *prog_->base;
+  // Registers start as the tagged engine's do: Value() == int 0 in both
+  // planes.  Every actor's ResetRegs re-templates its slice before any read.
+  dregs_.assign(base.num_regs, 0.0);
+  iregs_.assign(base.num_regs, 0);
+  scalar_vals_.resize(base.scalar_names.size());
+  array_vals_.resize(base.array_names.size());
+  dscalars_.assign(base.scalar_names.size(), 0.0);
+  iscalars_.assign(base.scalar_names.size(), 0);
+  darrays_.resize(base.array_names.size());
+  iarrays_.resize(base.array_names.size());
+  for (std::size_t i = 0; i < base.actors.size(); ++i) {
+    const FusedActorMeta& m = base.actors[i];
+    FilterState& st = states[i];
+    for (std::uint32_t k = 0; k < m.num_scalars; ++k) {
+      const std::string& name = base.scalar_names[m.scalar_base + k];
+      auto it = st.scalars.find(name);
+      if (it == st.scalars.end()) {
+        throw std::logic_error("fused bind: state has no scalar '" + name + "'");
+      }
+      scalar_vals_[m.scalar_base + k] = &it->second;
+    }
+    for (std::uint32_t k = 0; k < m.num_arrays; ++k) {
+      const std::string& name = base.array_names[m.array_base + k];
+      auto it = st.arrays.find(name);
+      if (it == st.arrays.end()) {
+        throw std::logic_error("fused bind: state has no array '" + name + "'");
+      }
+      array_vals_[m.array_base + k] = &it->second;
+    }
+  }
+  chans_.reserve(chans.size());
+  for (const auto& c : chans) chans_.push_back(c.get());
+  nstates_.reserve(nstates.size());
+  for (const auto& s : nstates) nstates_.push_back(s.get());
+  ebuf_.resize(base.edges.size());
+  for (std::size_t e = 0; e < base.edges.size(); ++e) {
+    const FusedEdgeMeta& m = base.edges[e];
+    if (m.internal) {
+      ebuf_[e].buf.resize(static_cast<std::size_t>(m.carry + m.traffic));
+    }
+  }
+}
+
+bool TypedFusedExec::sync_state_in() {
+  const TypedCode& c = prog_->code;
+  for (std::size_t s = 0; s < scalar_vals_.size(); ++s) {
+    const ir::Value& v = *scalar_vals_[s];
+    if (value_tag(v) != c.scalar_class[s]) return false;
+    if (c.scalar_class[s] == Tag::Double) {
+      dscalars_[s] = v.as_double();
+    } else {
+      iscalars_[s] = v.as_int();
+    }
+  }
+  for (std::size_t a = 0; a < array_vals_.size(); ++a) {
+    const std::vector<ir::Value>& arr = *array_vals_[a];
+    if (c.array_class[a] == Tag::Double) {
+      darrays_[a].resize(arr.size());
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (arr[i].is_int()) return false;
+        darrays_[a][i] = arr[i].as_double();
+      }
+    } else {
+      iarrays_[a].resize(arr.size());
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (!arr[i].is_int()) return false;
+        iarrays_[a][i] = arr[i].as_int();
+      }
+    }
+  }
+  return true;
+}
+
+void TypedFusedExec::sync_state_out() {
+  const TypedCode& c = prog_->code;
+  for (std::size_t s = 0; s < scalar_vals_.size(); ++s) {
+    *scalar_vals_[s] = c.scalar_class[s] == Tag::Double
+                           ? ir::Value(dscalars_[s])
+                           : ir::Value(iscalars_[s]);
+  }
+  for (std::size_t a = 0; a < array_vals_.size(); ++a) {
+    std::vector<ir::Value>& arr = *array_vals_[a];
+    if (c.array_class[a] == Tag::Double) {
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        arr[i] = ir::Value(darrays_[a][i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        arr[i] = ir::Value(iarrays_[a][i]);
+      }
+    }
+  }
+}
+
+bool TypedFusedExec::activate() {
+  if (active_) return true;
+  const FusedProgram& base = *prog_->base;
+  for (std::size_t e = 0; e < base.edges.size(); ++e) {
+    const FusedEdgeMeta& m = base.edges[e];
+    if (m.internal &&
+        chans_[e]->size() != static_cast<std::size_t>(m.carry)) {
+      return false;  // graph is mid-iteration (manual fire); run per-actor
+    }
+  }
+  // A state tag drifting from its inferred class (e.g. a handler retagged a
+  // scalar since specialization) refuses cleanly; the caller keeps the
+  // tagged fused trace.  Nothing is mutated on this path.
+  if (!sync_state_in()) return false;
+  for (std::size_t e = 0; e < base.edges.size(); ++e) {
+    const FusedEdgeMeta& m = base.edges[e];
+    if (!m.internal) continue;
+    EdgeState& s = ebuf_[e];
+    chans_[e]->drain_items(s.buf.data());
+    s.rd = 0;
+    s.wr = static_cast<std::size_t>(m.carry);
+  }
+  active_ = true;
+  return true;
+}
+
+void TypedFusedExec::deactivate() {
+  if (!active_) return;
+  const FusedProgram& base = *prog_->base;
+  for (std::size_t e = 0; e < base.edges.size(); ++e) {
+    const FusedEdgeMeta& m = base.edges[e];
+    if (!m.internal) continue;
+    EdgeState& s = ebuf_[e];
+    chans_[e]->restore_items(s.buf.data(), static_cast<std::size_t>(m.carry));
+    s.rd = s.wr = 0;
+  }
+  sync_state_out();
+  active_ = false;
+}
+
+void TypedFusedExec::run_iteration(OpCounts* actor_counts) {
+  if (!active_) {
+    throw std::logic_error("TypedFusedExec::run_iteration before activate()");
+  }
+  if (actor_counts != nullptr) {
+    run<true>(actor_counts);
+  } else {
+    run<false>(nullptr);
+  }
+  finish_iteration();
+}
+
+void TypedFusedExec::finish_iteration() {
+  const FusedProgram& base = *prog_->base;
+  for (std::size_t e = 0; e < base.edges.size(); ++e) {
+    const FusedEdgeMeta& m = base.edges[e];
+    if (!m.internal) continue;
+    EdgeState& s = ebuf_[e];
+    const auto carry = static_cast<std::size_t>(m.carry);
+    const auto traffic = static_cast<std::size_t>(m.traffic);
+    if (s.rd != traffic || s.wr != carry + traffic) {
+      throw std::logic_error("fused trace left channel " + std::to_string(e) +
+                             " at an unexpected level");
+    }
+    if (traffic > 0 && carry > 0) {
+      std::memmove(s.buf.data(), s.buf.data() + traffic,
+                   carry * sizeof(double));
+    }
+    s.rd = 0;
+    s.wr = carry;
+    chans_[e]->advance_counters(static_cast<std::int64_t>(traffic),
+                                static_cast<std::int64_t>(traffic));
+  }
+}
+
+template <bool kCount>
+void TypedFusedExec::run(OpCounts* actor_counts) {
+  const FusedProgram& base = *prog_->base;
+  double* const dr = dregs_.data();
+  std::int64_t* const ir_ = iregs_.data();
+  const TyInstr* const code = prog_->code.code.data();
+  EdgeState* const ebuf = ebuf_.data();
+  const bool debug = debug_channel_checks();
+  OpCounts* cur = nullptr;
+  const FusedActorMeta* meta = nullptr;
+  std::int64_t window = 0;
+  std::int64_t pops = 0;
+  std::int32_t pc = 0;
+
+  // ByResult was resolved at lowering, so every tally is a single add.
+  const auto tally = [&](CountTag tag) {
+    if constexpr (kCount) {
+      switch (tag) {
+        case CountTag::None: break;
+        case CountTag::IntOp: ++cur->int_ops; break;
+        case CountTag::Flop: ++cur->flops; break;
+        case CountTag::Div: ++cur->divs; break;
+        case CountTag::Trans: ++cur->trans; break;
+        case CountTag::Mem: ++cur->mem; break;
+        case CountTag::Channel: ++cur->channel; break;
+        case CountTag::ByResult: break;  // never emitted by typed_lower
+      }
+    } else {
+      (void)tag;
+    }
+  };
+
+  const auto tpop = [&](std::int32_t e) {
+    EdgeState& s = ebuf[e];
+    if (s.rd >= s.wr) throw std::runtime_error("pop from empty channel");
+    return s.buf[s.rd++];
+  };
+  const auto tpush = [&](std::int32_t e, double v) {
+    EdgeState& s = ebuf[e];
+    if (s.wr >= s.buf.size()) {
+      throw std::logic_error("fused trace buffer overflow");
+    }
+    s.buf[s.wr++] = v;
+  };
+
+  for (;;) {
+    const TyInstr& I = code[pc];
+    const bool ad = (I.mode & kModeAD) != 0;
+    const bool bd = (I.mode & kModeBD) != 0;
+    const bool dd = (I.mode & kModeDD) != 0;
+    switch (I.op) {
+      case FOp::Move:
+        if (dd) {
+          dr[I.dst] = dr[I.a];
+        } else {
+          ir_[I.dst] = ir_[I.a];
+        }
+        ++pc;
+        break;
+      case FOp::LoadScalar:
+        if constexpr (kCount) ++cur->mem;
+        if (dd) {
+          dr[I.dst] = dscalars_[I.a];
+        } else {
+          ir_[I.dst] = iscalars_[I.a];
+        }
+        ++pc;
+        break;
+      case FOp::StoreScalar:
+        if constexpr (kCount) ++cur->mem;
+        if (dd) {
+          dscalars_[I.a] = dr[I.dst];
+        } else {
+          iscalars_[I.a] = ir_[I.dst];
+        }
+        ++pc;
+        break;
+      case FOp::LoadElem: {
+        const std::int64_t idx = typed_geti(dr, ir_, I.b, bd);
+        if (dd) {
+          const auto& arr = darrays_[I.a];
+          if (idx < 0 || static_cast<std::size_t>(idx) >= arr.size()) {
+            elem_bounds_error("array index out of bounds",
+                              base.array_names[I.a], idx);
+          }
+          if constexpr (kCount) ++cur->mem;
+          dr[I.dst] = arr[static_cast<std::size_t>(idx)];
+        } else {
+          const auto& arr = iarrays_[I.a];
+          if (idx < 0 || static_cast<std::size_t>(idx) >= arr.size()) {
+            elem_bounds_error("array index out of bounds",
+                              base.array_names[I.a], idx);
+          }
+          if constexpr (kCount) ++cur->mem;
+          ir_[I.dst] = arr[static_cast<std::size_t>(idx)];
+        }
+        ++pc;
+        break;
+      }
+      case FOp::StoreElem: {
+        const std::int64_t idx = typed_geti(dr, ir_, I.b, bd);
+        if (dd) {
+          auto& arr = darrays_[I.a];
+          if (idx < 0 || static_cast<std::size_t>(idx) >= arr.size()) {
+            elem_bounds_error("array store out of bounds",
+                              base.array_names[I.a], idx);
+          }
+          if constexpr (kCount) ++cur->mem;
+          arr[static_cast<std::size_t>(idx)] = dr[I.dst];
+        } else {
+          auto& arr = iarrays_[I.a];
+          if (idx < 0 || static_cast<std::size_t>(idx) >= arr.size()) {
+            elem_bounds_error("array store out of bounds",
+                              base.array_names[I.a], idx);
+          }
+          if constexpr (kCount) ++cur->mem;
+          arr[static_cast<std::size_t>(idx)] = ir_[I.dst];
+        }
+        ++pc;
+        break;
+      }
+      case FOp::Bin:
+        tally(I.count);
+        typed_bin(static_cast<BinOp>(I.sub), dr, ir_, I.dst, I.a, I.b, I.mode);
+        ++pc;
+        break;
+      case FOp::Un:
+        tally(I.count);
+        typed_un(static_cast<UnOp>(I.sub), dr, ir_, I.dst, I.a, I.mode);
+        ++pc;
+        break;
+      case FOp::Truthy:
+        ir_[I.dst] = typed_truthy(dr, ir_, I.a, ad) ? 1 : 0;
+        ++pc;
+        break;
+      case FOp::Jmp:
+        pc = I.jump;
+        break;
+      case FOp::JmpIfFalse:
+        pc = typed_truthy(dr, ir_, I.a, ad) ? pc + 1 : I.jump;
+        break;
+      case FOp::JmpIfTrue:
+        pc = typed_truthy(dr, ir_, I.a, ad) ? I.jump : pc + 1;
+        break;
+      case FOp::JmpIfGe:
+        pc = typed_geti(dr, ir_, I.a, ad) >= typed_geti(dr, ir_, I.b, bd)
+                 ? I.jump
+                 : pc + 1;
+        break;
+      case FOp::CheckStep:
+        if (typed_geti(dr, ir_, I.a, ad) <= 0) {
+          throw std::runtime_error("for loop step must be positive");
+        }
+        ++pc;
+        break;
+      case FOp::ForInc:
+        ir_[I.dst] =
+            typed_geti(dr, ir_, I.dst, dd) + typed_geti(dr, ir_, I.a, ad);
+        ++pc;
+        break;
+      case FOp::Tally:
+        if constexpr (kCount) {
+          switch (I.count) {
+            case CountTag::IntOp: cur->int_ops += I.sub; break;
+            case CountTag::Channel: cur->channel += I.sub; break;
+            case CountTag::Flop: cur->flops += I.sub; break;
+            case CountTag::Div: cur->divs += I.sub; break;
+            case CountTag::Trans: cur->trans += I.sub; break;
+            case CountTag::Mem: cur->mem += I.sub; break;
+            case CountTag::None: case CountTag::ByResult: break;
+          }
+        }
+        ++pc;
+        break;
+      case FOp::RPeek: {
+        const std::int64_t off = typed_geti(dr, ir_, I.a, ad);
+        if (debug && (off < 0 || pops + off >= window)) {
+          peek_bounds_error(meta->name, off, pops, window);
+        }
+        if constexpr (kCount) ++cur->channel;
+        dr[I.dst] = chans_[I.edge]->peek_item(static_cast<int>(off));
+        ++pc;
+        break;
+      }
+      case FOp::RPop:
+        if constexpr (kCount) ++cur->channel;
+        ++pops;
+        dr[I.dst] = chans_[I.edge]->pop_item();
+        ++pc;
+        break;
+      case FOp::RPopN: {
+        const std::int64_t n = typed_geti(dr, ir_, I.a, ad);
+        if (n > 0) {
+          if constexpr (kCount) cur->channel += n;
+          pops += n;
+          chans_[I.edge]->pop_many(static_cast<int>(n));
+        }
+        ++pc;
+        break;
+      }
+      case FOp::RPush:
+        if constexpr (kCount) ++cur->channel;
+        chans_[I.edge]->push_item(typed_getd(dr, ir_, I.dst, dd));
+        ++pc;
+        break;
+      case FOp::TPeek: {
+        const std::int64_t off = typed_geti(dr, ir_, I.a, ad);
+        if (debug && (off < 0 || pops + off >= window)) {
+          peek_bounds_error(meta->name, off, pops, window);
+        }
+        EdgeState& s = ebuf[I.edge];
+        if (off < 0 || s.rd + static_cast<std::size_t>(off) >= s.wr) {
+          buffer_peek_error(off, s.wr - s.rd);
+        }
+        if constexpr (kCount) ++cur->channel;
+        dr[I.dst] = s.buf[s.rd + static_cast<std::size_t>(off)];
+        ++pc;
+        break;
+      }
+      case FOp::TPop:
+        if constexpr (kCount) ++cur->channel;
+        ++pops;
+        dr[I.dst] = tpop(I.edge);
+        ++pc;
+        break;
+      case FOp::TPopN: {
+        const std::int64_t n = typed_geti(dr, ir_, I.a, ad);
+        if (n > 0) {
+          EdgeState& s = ebuf[I.edge];
+          if (s.rd + static_cast<std::size_t>(n) > s.wr) {
+            throw std::runtime_error("pop from empty channel");
+          }
+          if constexpr (kCount) cur->channel += n;
+          pops += n;
+          s.rd += static_cast<std::size_t>(n);
+        }
+        ++pc;
+        break;
+      }
+      case FOp::TPush:
+        if constexpr (kCount) ++cur->channel;
+        tpush(I.edge, typed_getd(dr, ir_, I.dst, dd));
+        ++pc;
+        break;
+      case FOp::SetActor:
+        meta = &base.actors[I.a];
+        window = meta->peek_window;
+        if constexpr (kCount) cur = &actor_counts[I.a];
+        ++pc;
+        break;
+      case FOp::ResetRegs: {
+        const FusedActorMeta& m = base.actors[I.a];
+        // Re-template both plane slices (typed_lower split m.reg_init across
+        // them; the off-plane cells are zero, which no read can observe).
+        const std::size_t nr = m.reg_init.size();
+        std::copy_n(prog_->code.dreg_init.data() + m.reg_base, nr,
+                    dr + m.reg_base);
+        std::copy_n(prog_->code.ireg_init.data() + m.reg_base, nr,
+                    ir_ + m.reg_base);
+        pops = 0;
+        ++pc;
+        break;
+      }
+      case FOp::MacLoop: {
+        const MacLoopArgs& M = base.macs[I.a];
+        std::int64_t i = ir_[M.ri];
+        const std::int64_t hi = ir_[M.rhi];
+        const std::int64_t st = ir_[M.rstep];
+        if (i < hi) {
+          double acc = dr[M.acc];
+          const std::vector<double>* arr =
+              M.has_array ? &darrays_[M.arr] : nullptr;
+          EdgeState* s = M.real ? nullptr : &ebuf[M.edge];
+          Channel* const ch = M.real ? chans_[M.edge] : nullptr;
+          // Hoisted precheck: when no per-element check can fire across the
+          // whole range, run the raw kernel and count in bulk.  `last` is the
+          // largest index the loop touches (st > 0 was established by the
+          // CheckStep the superinstruction absorbed).
+          const std::int64_t last = i + ((hi - 1 - i) / st) * st;
+          bool fast = i >= 0 && st > 0;
+          if (fast && debug && pops + last >= window) fast = false;
+          if (fast && s != nullptr &&
+              s->rd + static_cast<std::size_t>(last) >= s->wr) {
+            fast = false;
+          }
+          if (fast && ch != nullptr &&
+              static_cast<std::size_t>(last) >= ch->size()) {
+            fast = false;
+          }
+          if (fast && arr != nullptr &&
+              static_cast<std::size_t>(last) >= arr->size()) {
+            fast = false;
+          }
+          if (fast && s != nullptr) {
+            const double* const src = s->buf.data() + s->rd;
+            if (arr != nullptr) {
+              const double* const coef = arr->data();
+              for (; i < hi; i += st) acc += src[i] * coef[i];
+            } else {
+              for (; i < hi; i += st) acc += src[i];
+            }
+            if constexpr (kCount) {
+              const std::int64_t trips = (hi - ir_[M.ri] + st - 1) / st;
+              cur->int_ops += 2 * trips;
+              cur->channel += trips;
+              if (arr != nullptr) {
+                cur->mem += trips;
+                cur->flops += 2 * trips;  // mul + add per term
+              } else {
+                cur->flops += trips;  // add per term
+              }
+            }
+          } else if (fast) {
+            // Real-channel mac: peek through the ring (still raw doubles).
+            if (arr != nullptr) {
+              const double* const coef = arr->data();
+              for (; i < hi; i += st) {
+                acc += ch->peek_item(static_cast<int>(i)) * coef[i];
+              }
+            } else {
+              for (; i < hi; i += st) acc += ch->peek_item(static_cast<int>(i));
+            }
+            if constexpr (kCount) {
+              const std::int64_t trips = (hi - ir_[M.ri] + st - 1) / st;
+              cur->int_ops += 2 * trips;
+              cur->channel += trips;
+              if (arr != nullptr) {
+                cur->mem += trips;
+                cur->flops += 2 * trips;
+              } else {
+                cur->flops += trips;
+              }
+            }
+          } else {
+            // Checked path: per-element checks and counts in exactly the
+            // tagged engine's order, so an error fires at the same element
+            // with the same partial counts.
+            for (; i < hi; i += st) {
+              if constexpr (kCount) cur->int_ops += 2;
+              if (debug && (i < 0 || pops + i >= window)) {
+                peek_bounds_error(meta->name, i, pops, window);
+              }
+              double pd;
+              if (s != nullptr) {
+                if (i < 0 || s->rd + static_cast<std::size_t>(i) >= s->wr) {
+                  buffer_peek_error(i, s->wr - s->rd);
+                }
+                pd = s->buf[s->rd + static_cast<std::size_t>(i)];
+              } else {
+                pd = ch->peek_item(static_cast<int>(i));
+              }
+              if constexpr (kCount) ++cur->channel;
+              double term = pd;
+              if (arr != nullptr) {
+                if (i < 0 || static_cast<std::size_t>(i) >= arr->size()) {
+                  elem_bounds_error("array index out of bounds",
+                                    base.array_names[M.arr], i);
+                }
+                if constexpr (kCount) ++cur->mem;
+                term = pd * (*arr)[static_cast<std::size_t>(i)];
+                if constexpr (kCount) ++cur->flops;
+              }
+              acc += term;
+              if constexpr (kCount) ++cur->flops;
+            }
+          }
+          dr[M.acc] = acc;
+          // The loop-variable local holds its final iteration's value.
+          ir_[M.slot] = i - st;
+        }
+        ir_[M.ri] = i;
+        ++pc;
+        break;
+      }
+      case FOp::PopComputePush: {
+        const PcpArgs& P = base.pcps[I.a];
+        const TypedPcp& tp = prog_->code.pcps[I.a];
+        double vd;
+        if (P.in_real) {
+          vd = chans_[P.in_edge]->pop_item();
+        } else {
+          vd = tpop(P.in_edge);
+        }
+        if constexpr (kCount) ++cur->channel;
+        ++pops;
+        dr[P.rpop] = vd;
+        double outd = vd;
+        switch (P.kind) {
+          case PcpArgs::Kind::Plain:
+            outd = vd;
+            break;
+          case PcpArgs::Kind::Bin:
+            tally(tp.tag);
+            typed_bin(static_cast<BinOp>(P.sub), dr, ir_, P.rres, P.a, P.b,
+                      tp.mode);
+            outd = tp.res_double ? dr[P.rres]
+                                 : static_cast<double>(ir_[P.rres]);
+            break;
+          case PcpArgs::Kind::Un:
+            tally(tp.tag);
+            typed_un(static_cast<UnOp>(P.sub), dr, ir_, P.rres, P.a, tp.mode);
+            outd = tp.res_double ? dr[P.rres]
+                                 : static_cast<double>(ir_[P.rres]);
+            break;
+        }
+        if constexpr (kCount) ++cur->channel;
+        if (P.out_real) {
+          chans_[P.out_edge]->push_item(outd);
+        } else {
+          tpush(P.out_edge, outd);
+        }
+        ++pc;
+        break;
+      }
+      case FOp::CopyRun: {
+        const CopyRunArgs& C = base.copies[I.a];
+        if constexpr (kCount) {
+          cur->channel += C.n * (1 + static_cast<std::int64_t>(C.dst.size()));
+        }
+        if (C.n > 0) {
+          double last = 0.0;
+          if (!C.src_real && C.dst.size() == 1 && C.dst_real[0] == 0) {
+            EdgeState& si = ebuf[C.src];
+            EdgeState& so = ebuf[C.dst[0]];
+            const auto n = static_cast<std::size_t>(C.n);
+            if (si.rd + n > si.wr) {
+              throw std::runtime_error("pop from empty channel");
+            }
+            if (so.wr + n > so.buf.size()) {
+              throw std::logic_error("fused trace buffer overflow");
+            }
+            std::memcpy(so.buf.data() + so.wr, si.buf.data() + si.rd,
+                        n * sizeof(double));
+            si.rd += n;
+            so.wr += n;
+            last = so.buf[so.wr - 1];
+          } else {
+            for (std::int64_t k = 0; k < C.n; ++k) {
+              const double v =
+                  C.src_real ? chans_[C.src]->pop_item() : tpop(C.src);
+              for (std::size_t d = 0; d < C.dst.size(); ++d) {
+                if (C.dst_real[d] != 0) {
+                  chans_[C.dst[d]]->push_item(v);
+                } else {
+                  tpush(C.dst[d], v);
+                }
+              }
+              last = v;
+            }
+          }
+          dr[C.reg] = last;
+        }
+        ++pc;
+        break;
+      }
+      case FOp::NativeFire: {
+        const NativeFireArgs& N = base.nats[I.a];
+        const FlatActor& a =
+            base.graph->actors[static_cast<std::size_t>(N.actor)];
+        EdgeState dummy;
+        BufIn bin(N.in_edge >= 0 && !N.in_real ? ebuf[N.in_edge] : dummy);
+        BufOut bout(N.out_edge >= 0 && !N.out_real ? ebuf[N.out_edge] : dummy);
+        ir::InTape* in = &g_null_in;
+        ir::OutTape* out = &g_null_out;
+        if (N.in_edge >= 0) {
+          in = N.in_real ? static_cast<ir::InTape*>(chans_[N.in_edge]) : &bin;
+        }
+        if (N.out_edge >= 0) {
+          out = N.out_real ? static_cast<ir::OutTape*>(chans_[N.out_edge])
+                           : &bout;
+        }
+        a.node->native.work(nstates_[static_cast<std::size_t>(N.actor)], *in,
+                            *out);
+        if constexpr (kCount) {
+          cur->flops += N.flops;
+          cur->int_ops += N.int_ops;
+          cur->channel += N.channel;
+        }
+        ++pc;
+        break;
+      }
+      case FOp::Halt:
+        return;
+      default:
+        throw std::logic_error("typed fused dispatch: unexpected opcode");
+    }
+  }
 }
 
 }  // namespace sit::runtime

@@ -6,6 +6,7 @@
 #include "analysis/analyze.h"
 #include "analysis/bounds_chan.h"
 #include "analysis/fuse.h"
+#include "analysis/typeflow.h"
 #include "runtime/compile.h"
 #include "sched/envopts.h"
 
@@ -55,6 +56,11 @@ bool resolve_trace(TraceMode mode) {
   if (!obs::kCompiledIn) return false;
   if (mode != TraceMode::Auto) return mode == TraceMode::On;
   return env_trace();
+}
+
+bool resolve_typed(TypedMode mode) {
+  if (mode != TypedMode::Auto) return mode == TypedMode::On;
+  return env_typed();
 }
 
 int resolve_stall_ms(int requested) {
@@ -107,10 +113,13 @@ Executor::Executor(CompiledProgram prog, ExecOptions opts)
     tb_ = rec_->thread_buffer(0);
   }
 
+  typed_on_ = resolve_typed(opts_.typed);
   const std::size_t n = g_.actors.size();
   fstate_.resize(n);
   nstate_.resize(n);
   vmf_.resize(n);
+  tbf_.resize(n);
+  typed_refusal_.resize(n);
   ops_.resize(n);
   fired_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -127,6 +136,17 @@ Executor::Executor(CompiledProgram prog, ExecOptions opts)
             vmf_[i]->run_init();
           } else {
             Interp::run_init(spec, fstate_[i]);
+          }
+          // Typed specialization on top of the bytecode: inference runs
+          // against the post-init state tags; a refusal records its stable
+          // reason and the actor stays on the tagged VM.
+          if (typed_on_) {
+            if (auto tp = runtime::typed_compile(spec, prog, fstate_[i],
+                                                 &typed_refusal_[i])) {
+              tbf_[i] = std::make_unique<runtime::TypedBound>(std::move(tp),
+                                                              fstate_[i]);
+              typed_refusal_[i].clear();
+            }
           }
           continue;
         }
@@ -158,6 +178,19 @@ Executor::Executor(CompiledProgram prog, ExecOptions opts)
           fexec_ = std::make_unique<runtime::FusedExec>(fprog_, fstate_, chans_,
                                                         nstate_);
           fused_refusal_.clear();
+          // Typed twin of the whole trace: run_steady prefers it when its
+          // activation succeeds; the tagged trace stays as fallback.
+          if (typed_on_) {
+            tfprog_ = runtime::build_typed_fused(fprog_, fstate_,
+                                                 &typed_fused_refusal_);
+            if (tfprog_) {
+              tfexec_ = std::make_unique<runtime::TypedFusedExec>(
+                  tfprog_, fstate_, chans_, nstate_);
+              typed_fused_refusal_.clear();
+            }
+          } else {
+            typed_fused_refusal_ = "typed-off";
+          }
         }
       }
     }
@@ -228,7 +261,19 @@ void Executor::fire(int actor) {
       }
       const runtime::MessageSink* sink =
           opts_.message_sink ? &opts_.message_sink : nullptr;
-      if (vmf_[ai]) {
+      if (tbf_[ai]) {
+        // Typed filters have no Send statements (typed_compile refuses
+        // them), so the sink is irrelevant on this path.
+        if (tb != nullptr) {
+          obs::FiringTrace tr{tb, rec_.get(),
+                              a.in_edges.empty() ? -1 : a.in_edges[0],
+                              a.out_edges.empty() ? -1 : a.out_edges[0]};
+          tbf_[ai]->run_work(*in, *out, counts, &tr);
+          vm_traced = true;
+        } else {
+          tbf_[ai]->run_work(*in, *out, counts);
+        }
+      } else if (vmf_[ai]) {
         if (tb != nullptr) {
           obs::FiringTrace tr{tb, rec_.get(),
                               a.in_edges.empty() ? -1 : a.in_edges[0],
@@ -369,6 +414,24 @@ std::vector<double> Executor::run_steady(int n) {
               static_cast<std::int32_t>(obs::PhaseId::Steady));
     steady_marked_ = true;
   }
+  // Typed fused fast path: the dual-plane trace, when its activation
+  // succeeds (graph at an iteration boundary AND every state tag still
+  // matches its inferred class).  Falls through to the tagged trace, then to
+  // per-actor execution.
+  if (tfexec_ && n > 0 && tfexec_->activate()) {
+    runtime::OpCounts* counts = opts_.count_ops ? ops_.data() : nullptr;
+    for (int i = 0; i < n; ++i) {
+      ++steady_run_;
+      ensure_input_for(sched_.input_for_init +
+                       steady_run_ * sched_.input_per_steady);
+      tfexec_->run_iteration(counts);
+    }
+    tfexec_->deactivate();
+    for (std::size_t a = 0; a < fired_.size(); ++a) {
+      fired_[a] += n * sched_.reps[a];
+    }
+    return take_output();
+  }
   // Fused fast path: one flat trace per steady state.  activate() lowers the
   // internal channels to trace buffers for the whole batch of iterations; it
   // refuses when manual fire() calls left the graph mid-iteration, in which
@@ -428,6 +491,16 @@ obs::MetricsSnapshot Executor::metrics_snapshot() const {
     m.fused_channels = fprog_->eliminated_channels;
     m.fused_super.assign(fprog_->super.begin(), fprog_->super.end());
   }
+  if (typed_on_) {
+    m.typed_actors = 0;
+    m.typed_regs = 0;
+    for (const auto& tb : tbf_) {
+      if (tb) {
+        ++m.typed_actors;
+        m.typed_regs += tb->program().work.typed_regs;
+      }
+    }
+  }
   m.pipeline = pipeline_;
   m.passes = passes_;
 
@@ -453,6 +526,12 @@ obs::MetricsSnapshot Executor::metrics_snapshot() const {
       if (a.calib_cycles <= 0 && fs.wall_ns > 0) {
         a.calib_cycles = static_cast<double>(fs.wall_ns);
       }
+    }
+    if (tbf_[i]) {
+      a.typed_status = "typed";
+      a.typed_regs = tbf_[i]->program().work.typed_regs;
+    } else if (typed_on_ && !typed_refusal_[i].empty()) {
+      a.typed_status = typed_refusal_[i];
     }
     m.actors.push_back(std::move(a));
   }
@@ -480,6 +559,22 @@ obs::MetricsSnapshot Executor::metrics_snapshot() const {
     s.peak_items = static_cast<std::int64_t>(chans_[e]->high_water());
     if (e < bounds.in_order.size()) s.bound_items = bounds.in_order[e];
     m.edges.push_back(std::move(s));
+  }
+
+  // Channel content tags from the executor's own specialization results:
+  // typed actors contribute their inferred push tag, everything else Double.
+  if (typed_on_) {
+    std::vector<runtime::Tag> push(g_.actors.size(), runtime::Tag::Double);
+    for (std::size_t i = 0; i < g_.actors.size(); ++i) {
+      if (tbf_[i]) push[i] = tbf_[i]->program().work.push_tag;
+    }
+    const auto content = analysis::propagate_edge_tags(g_, push);
+    m.typed_channels = 0;
+    for (std::size_t e = 0; e < content.size(); ++e) {
+      m.edges[e].content =
+          content[e] == runtime::Tag::Double ? "double" : "int";
+      if (content[e] == runtime::Tag::Double) ++m.typed_channels;
+    }
   }
 
   if (rec_) {

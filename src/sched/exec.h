@@ -23,6 +23,7 @@
 #include "runtime/flatgraph.h"
 #include "runtime/fused.h"
 #include "runtime/interp.h"
+#include "runtime/typed.h"
 #include "runtime/vm.h"
 #include "sched/program.h"
 #include "sched/schedule.h"
@@ -51,6 +52,15 @@ enum class TraceMode { Auto, Off, On };
 // compiled out (cmake -DSIT_OBS=OFF).
 bool resolve_trace(TraceMode mode);
 
+// Typed (unboxed dual-plane) value specialization: Off keeps every actor on
+// the tagged engines; On and Auto both specialize wherever the typeflow
+// analysis (runtime/typed.h) proves it safe, with tagged fallback per
+// actor/trace where it refuses.  Auto consults SIT_TYPED (default on).
+enum class TypedMode { Auto, Off, On };
+
+// Resolve Auto against SIT_TYPED (other values pass through).
+bool resolve_typed(TypedMode mode);
+
 // Resolve the threaded runtime's stall-abort threshold in milliseconds:
 // 0 = consult SIT_STALL_MS, which itself defaults to 120000 (two minutes);
 // negative = never abort (spin forever).
@@ -74,6 +84,8 @@ struct ExecOptions {
   int batch{0};
   // Event tracing + per-firing timing (obs::Recorder).
   TraceMode trace{TraceMode::Auto};
+  // Typed value-plane specialization (SIT_TYPED when Auto).
+  TypedMode typed{TypedMode::Auto};
   // Threaded runtime stall detector: abort after this many ms without
   // progress in a spin wait (0 = SIT_STALL_MS / default, < 0 = never), and
   // busy-spin this many times before starting to yield.
@@ -129,6 +141,32 @@ class Executor {
   [[nodiscard]] Engine engine() const { return engine_; }
   [[nodiscard]] bool actor_uses_vm(int actor) const {
     return vmf_[static_cast<std::size_t>(actor)] != nullptr;
+  }
+
+  // Typed specialization introspection.  typed_enabled() reports the
+  // resolved SIT_TYPED decision; actor_uses_typed() whether a given actor's
+  // work runs on the dual-plane register file; typed_refusal() the stable
+  // reason it does not ("" when it does, or when the actor was never a
+  // candidate -- non-filter, tree fallback, or typed mode off).
+  [[nodiscard]] bool typed_enabled() const { return typed_on_; }
+  [[nodiscard]] bool actor_uses_typed(int actor) const {
+    return tbf_[static_cast<std::size_t>(actor)] != nullptr;
+  }
+  [[nodiscard]] const std::string& typed_refusal(int actor) const {
+    return typed_refusal_[static_cast<std::size_t>(actor)];
+  }
+  // The specialized work program for one actor (null when tagged), and the
+  // whole-trace typed fused program (Engine::Fused; null when the trace
+  // stayed tagged, with typed_fused_refusal() carrying the stable reason).
+  [[nodiscard]] const runtime::TypedFilter* typed_program(int actor) const {
+    const auto& p = tbf_[static_cast<std::size_t>(actor)];
+    return p ? &p->program() : nullptr;
+  }
+  [[nodiscard]] const runtime::TypedFusedProgram* typed_fused_program() const {
+    return tfprog_ ? tfprog_.get() : nullptr;
+  }
+  [[nodiscard]] const std::string& typed_fused_refusal() const {
+    return typed_fused_refusal_;
   }
 
   // Fused engine introspection (Engine::Fused only).  fused_program() is the
@@ -187,10 +225,20 @@ class Executor {
   // interpreter.  fstate_ entries must therefore never be reseated.
   std::vector<std::unique_ptr<runtime::VmBound>> vmf_;
   std::vector<std::unique_ptr<ir::NativeState>> nstate_;
+  // Typed specialization (SIT_TYPED): per-actor dual-plane bindings, taking
+  // precedence over vmf_ when present, plus the per-actor refusal reasons.
+  bool typed_on_{false};
+  std::vector<std::unique_ptr<runtime::TypedBound>> tbf_;
+  std::vector<std::string> typed_refusal_;
   // Fused steady-state trace (Engine::Fused; null when fusion was refused).
   runtime::FusedProgramP fprog_;
   std::unique_ptr<runtime::FusedExec> fexec_;
   std::string fused_refusal_;
+  // Typed twin of the fused trace (preferred by run_steady when its
+  // activation succeeds; the tagged trace stays as fallback).
+  runtime::TypedFusedProgramP tfprog_;
+  std::unique_ptr<runtime::TypedFusedExec> tfexec_;
+  std::string typed_fused_refusal_;
   std::vector<runtime::OpCounts> ops_;
   std::vector<std::int64_t> fired_;
   std::function<double(std::int64_t)> input_gen_;

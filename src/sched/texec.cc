@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "analysis/analyze.h"
+#include "analysis/typeflow.h"
 #include "machine/machine.h"
 #include "obs/costmodel.h"
 #include "obs/trace.h"
@@ -263,10 +264,13 @@ void ThreadedExecutor::build_storage() {
 
   engine_ = resolve_engine(opts_.engine != Engine::Auto ? opts_.engine
                                                         : prog_engine_);
+  typed_on_ = resolve_typed(opts_.typed);
   const std::size_t n = g_.actors.size();
   fstate_.resize(n);
   nstate_.resize(n);
   vmf_.resize(n);
+  tbf_.resize(n);
+  typed_refusal_.resize(n);
   ops_.resize(n);
   calib_.resize(n);
   fired_.assign(n, 0);
@@ -285,6 +289,14 @@ void ThreadedExecutor::build_storage() {
             vmf_[i]->run_init();
           } else {
             Interp::run_init(spec, fstate_[i]);
+          }
+          if (typed_on_) {
+            if (auto tp = runtime::typed_compile(spec, prog, fstate_[i],
+                                                 &typed_refusal_[i])) {
+              tbf_[i] = std::make_unique<runtime::TypedBound>(std::move(tp),
+                                                              fstate_[i]);
+              typed_refusal_[i].clear();
+            }
           }
           continue;
         }
@@ -418,7 +430,17 @@ void ThreadedExecutor::fire_actor(int actor, OpCounts* counts,
           in_tape(a.in_edges.empty() ? -1 : a.in_edges[0]);
       ir::OutTape* out =
           out_tape(a.out_edges.empty() ? -1 : a.out_edges[0]);
-      if (vmf_[ai]) {
+      if (tbf_[ai]) {
+        if (tb != nullptr) {
+          obs::FiringTrace tr{tb, rec_.get(),
+                              a.in_edges.empty() ? -1 : a.in_edges[0],
+                              a.out_edges.empty() ? -1 : a.out_edges[0]};
+          tbf_[ai]->run_work(*in, *out, counts, &tr);
+          vm_traced = true;
+        } else {
+          tbf_[ai]->run_work(*in, *out, counts);
+        }
+      } else if (vmf_[ai]) {
         if (tb != nullptr) {
           obs::FiringTrace tr{tb, rec_.get(),
                               a.in_edges.empty() ? -1 : a.in_edges[0],
@@ -1003,6 +1025,16 @@ obs::MetricsSnapshot ThreadedExecutor::metrics_snapshot() const {
   m.predicted_speedup = report_.predicted_speedup;
   m.pipeline = pipeline_;
   m.passes = passes_;
+  if (typed_on_) {
+    m.typed_actors = 0;
+    m.typed_regs = 0;
+    for (const auto& tb : tbf_) {
+      if (tb) {
+        ++m.typed_actors;
+        m.typed_regs += tb->program().work.typed_regs;
+      }
+    }
+  }
 
   m.actors.reserve(g_.actors.size());
   for (std::size_t i = 0; i < g_.actors.size(); ++i) {
@@ -1019,6 +1051,12 @@ obs::MetricsSnapshot ThreadedExecutor::metrics_snapshot() const {
       a.wall_ns = fs.wall_ns;
       a.max_ns = fs.max_ns;
       a.hist.assign(fs.hist.begin(), fs.hist.end());
+    }
+    if (tbf_[i]) {
+      a.typed_status = "typed";
+      a.typed_regs = tbf_[i]->program().work.typed_regs;
+    } else if (typed_on_ && !typed_refusal_[i].empty()) {
+      a.typed_status = typed_refusal_[i];
     }
     m.actors.push_back(std::move(a));
   }
@@ -1044,6 +1082,20 @@ obs::MetricsSnapshot ThreadedExecutor::metrics_snapshot() const {
                              : bounds_.channel_bound(e, batch_);
     }
     m.edges.push_back(std::move(s));
+  }
+
+  if (typed_on_) {
+    std::vector<runtime::Tag> push(g_.actors.size(), runtime::Tag::Double);
+    for (std::size_t i = 0; i < g_.actors.size(); ++i) {
+      if (tbf_[i]) push[i] = tbf_[i]->program().work.push_tag;
+    }
+    const auto content = analysis::propagate_edge_tags(g_, push);
+    m.typed_channels = 0;
+    for (std::size_t e = 0; e < content.size(); ++e) {
+      m.edges[e].content =
+          content[e] == runtime::Tag::Double ? "double" : "int";
+      if (content[e] == runtime::Tag::Double) ++m.typed_channels;
+    }
   }
 
   for (int w = 0; w < threads_; ++w) {

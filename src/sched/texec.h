@@ -71,6 +71,7 @@
 #include "runtime/flatgraph.h"
 #include "runtime/interp.h"
 #include "runtime/spsc.h"
+#include "runtime/typed.h"
 #include "runtime/vm.h"
 #include "sched/exec.h"
 #include "sched/schedule.h"
@@ -220,6 +221,11 @@ class ThreadedExecutor {
   std::vector<std::unique_ptr<runtime::SpscRing>> rings_;
   std::vector<runtime::FilterState> fstate_;
   std::vector<std::unique_ptr<runtime::VmBound>> vmf_;
+  // Typed (dual-plane) bindings, preferred over vmf_ where inference proved
+  // the work function monomorphic; same per-actor fallback as Executor.
+  std::vector<std::unique_ptr<runtime::TypedBound>> tbf_;
+  std::vector<std::string> typed_refusal_;
+  bool typed_on_{false};
   std::vector<std::unique_ptr<ir::NativeState>> nstate_;
   std::vector<runtime::OpCounts> ops_;
   std::vector<runtime::OpCounts> calib_;  // weights when count_ops is off

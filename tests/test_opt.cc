@@ -59,14 +59,14 @@ TEST(PassRegistry, AllBuiltinsRegistered) {
   for (const char* name :
        {"validate", "analysis-gate", "verify", "const-fold", "linear-extract",
         "linear-combine", "frequency", "selective-fuse", "fission",
-        "threaded-prep", "coarsen", "fuse-steady"}) {
+        "threaded-prep", "coarsen", "fuse-steady", "typeflow"}) {
     Pass* p = pm.find(name);
     ASSERT_NE(p, nullptr) << name;
     EXPECT_STREQ(p->name(), name);
     EXPECT_NE(std::string(p->description()), "");
   }
   EXPECT_EQ(pm.find("nonsense"), nullptr);
-  EXPECT_EQ(pm.pass_names().size(), 12u);
+  EXPECT_EQ(pm.pass_names().size(), 13u);
 }
 
 TEST(PassRegistry, LaterRegistrationShadows) {

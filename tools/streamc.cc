@@ -32,6 +32,7 @@
 
 #include "apps/apps.h"
 #include "analysis/fuse.h"
+#include "analysis/typeflow.h"
 #include "obs/costmodel.h"
 #include "opt/compile.h"
 #include "runtime/fused.h"
@@ -83,6 +84,18 @@ std::string fused_report(const sit::sched::CompiledProgram& prog) {
     }
   }
   return out;
+}
+
+// The --report typed-dataflow section: per-actor inferred-type tables,
+// specialization status (or the stable refusal reason), and per-edge content
+// tags (analysis/typeflow.h).
+std::string typeflow_report(const sit::sched::CompiledProgram& prog) {
+  try {
+    const sit::analysis::TypeflowResult tf = sit::analysis::typeflow(prog.flat);
+    return tf.describe(prog.flat);
+  } catch (const std::exception& e) {
+    return std::string("typeflow: unavailable (") + e.what() + ")\n";
+  }
 }
 
 void usage(std::FILE* to) {
@@ -289,9 +302,9 @@ int main(int argc, char** argv) {
   }
 
   if (args.report) {
-    std::printf("%s\n%s%s", app->name.c_str(),
+    std::printf("%s\n%s%s%s", app->name.c_str(),
                 sit::opt::pass_report(prog, &ctx.rewrites).c_str(),
-                fused_report(prog).c_str());
+                fused_report(prog).c_str(), typeflow_report(prog).c_str());
   }
 
   sit::sched::ThreadedExecutor tex(std::move(prog), copts.exec);
